@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestRunExhaustive(t *testing.T) {
+	if err := run([]string{"-sizes", "2x2,3x2", "-workers", "2"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSampled(t *testing.T) {
+	if err := run([]string{"-sizes", "4x4", "-workers", "3", "-sample", "50"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunRejectsBadSizes(t *testing.T) {
+	for _, s := range []string{"2", "2x", "ax2", "2xb"} {
+		if err := run([]string{"-sizes", s}); err == nil {
+			t.Errorf("size %q accepted", s)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("2x2, 3x2")
+	if err != nil || len(got) != 2 || got[1] != [2]int{3, 2} {
+		t.Errorf("parseSizes = %v, %v", got, err)
+	}
+}
+
+func TestRunOtherWorkloads(t *testing.T) {
+	// Sizes chosen to keep exhaustive state spaces small (GEMM's 27
+	// independent-chain tasks at size 3 already explode combinatorially).
+	for wl, size := range map[string]string{
+		"cholesky": "3", "gemm": "2", "wavefront": "3", "random": "6",
+	} {
+		if err := run([]string{"-workload", wl, "-size", size}); err != nil {
+			t.Errorf("%s: %v", wl, err)
+		}
+	}
+	if err := run([]string{"-workload", "cholesky", "-size", "4", "-sample", "30"}); err != nil {
+		t.Errorf("sampled cholesky: %v", err)
+	}
+	if err := run([]string{"-workload", "nope"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunRejectsTooManyWorkers(t *testing.T) {
+	if err := run([]string{"-sizes", "2x2", "-workers", "9"}); err == nil {
+		t.Error("worker count beyond MaxWorkers accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "lu", "-size", "4", "-workers", "4", "-mapping", "owner"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"workload   lu", "tasks", "depth", "load histogram", "pruning"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllWorkloadsAndMappings(t *testing.T) {
+	for _, wl := range []string{"independent", "random", "gemm", "lu", "cholesky", "wavefront"} {
+		for _, m := range []string{"cyclic", "block", "owner"} {
+			var buf bytes.Buffer
+			if err := run([]string{"-workload", wl, "-size", "4", "-mapping", m}, &buf); err != nil {
+				t.Errorf("%s/%s: %v", wl, m, err)
+			}
+		}
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "gemm", "-size", "2", "-dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "digraph") {
+		t.Errorf("DOT output = %q...", buf.String()[:20])
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "lu", "-size", "2", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"tasks"`) {
+		t.Error("JSON output missing tasks field")
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-mapping", "nope"}, &buf); err == nil {
+		t.Error("unknown mapping accepted")
+	}
+}

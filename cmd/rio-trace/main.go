@@ -1,0 +1,137 @@
+// Command rio-trace runs one workload under one engine with per-task span
+// recording and prints an ASCII Gantt timeline, the per-kernel duration
+// breakdown, and the task graph's critical-path bound next to the achieved
+// time — the analysis view behind the paper's efficiency-decomposition
+// numbers. (Recording costs ~40% per task at very fine granularity — see
+// `rio-bench ablation` — which is why the headline experiments use
+// aggregate accounting instead, as the paper does.)
+//
+//	rio-trace -workload lu -size 6 -workers 4 -engine rio -task-size 5000
+//	rio-trace -workload wavefront -size 8 -engine centralized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"rio/internal/bench"
+	"rio/internal/graphs"
+	"rio/internal/kernels"
+	"rio/internal/sched"
+	"rio/internal/stf"
+	"rio/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rio-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rio-trace", flag.ContinueOnError)
+	workload := fs.String("workload", "lu", "independent | random | gemm | lu | cholesky | wavefront | tree | forkjoin")
+	size := fs.Int("size", 6, "workload size")
+	workers := fs.Int("workers", 4, "worker count")
+	engine := fs.String("engine", "rio", "rio | centralized | ws | prio | sequential")
+	taskSize := fs.Uint64("task-size", 5000, "synthetic task size (counter iterations)")
+	width := fs.Int("width", 100, "gantt width in columns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := buildGraph(*workload, *size)
+	if err != nil {
+		return err
+	}
+	mapping := sched.OwnerComputes(g, sched.NewGrid2D(*workers))
+	kind, err := engineKind(*engine)
+	if err != nil {
+		return err
+	}
+	e, err := bench.NewEngine(kind, *workers, mapping)
+	if err != nil {
+		return err
+	}
+
+	rec := trace.NewRecorder(*workers)
+	cells := kernels.NewCells(*workers)
+	kern := rec.Instrument(graphs.CounterKernel(cells, *taskSize))
+	t0 := time.Now()
+	if err := e.Run(g.NumData, stf.Replay(g, kern)); err != nil {
+		return err
+	}
+	wall := time.Since(t0)
+
+	fmt.Fprintf(out, "%s on %s: %d tasks, %d workers, wall %v\n\n",
+		e.Name(), g.Name, rec.Count(), *workers, wall.Round(time.Microsecond))
+	if err := rec.Gantt(out, *width); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(out, "\nper-kernel breakdown:")
+	stats := rec.KernelStats()
+	kinds := make([]int, 0, len(stats))
+	for k := range stats {
+		kinds = append(kinds, k)
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		s := stats[k]
+		fmt.Fprintf(out, "  kernel %-3d ×%-6d mean %-10v max %-10v total %v\n",
+			k, s.Count, s.Mean().Round(time.Nanosecond), s.Max.Round(time.Nanosecond), s.Total.Round(time.Microsecond))
+	}
+
+	critical, work := rec.CriticalPath(g)
+	fmt.Fprintf(out, "\nwork %v, critical path %v", work.Round(time.Microsecond), critical.Round(time.Microsecond))
+	if critical > 0 {
+		fmt.Fprintf(out, " → graph parallelism %.2f; makespan vs bound: %.2fx\n",
+			float64(work)/float64(critical), float64(wall)/float64(critical))
+	} else {
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func buildGraph(workload string, size int) (*stf.Graph, error) {
+	switch workload {
+	case "independent":
+		return graphs.Independent(size), nil
+	case "random":
+		return graphs.RandomDeps(size, 128, 2, 1, 42), nil
+	case "gemm":
+		return graphs.GEMM(size), nil
+	case "lu":
+		return graphs.LU(size), nil
+	case "cholesky":
+		return graphs.Cholesky(size), nil
+	case "wavefront":
+		return graphs.Wavefront(size, size), nil
+	case "tree":
+		return graphs.TreeReduce(size), nil
+	case "forkjoin":
+		return graphs.ForkJoin(size, size), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+func engineKind(s string) (bench.EngineKind, error) {
+	switch s {
+	case "rio":
+		return bench.RIO, nil
+	case "centralized":
+		return bench.CentralizedFIFO, nil
+	case "ws":
+		return bench.CentralizedWS, nil
+	case "prio":
+		return bench.CentralizedPrio, nil
+	case "sequential":
+		return bench.Sequential, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
+}

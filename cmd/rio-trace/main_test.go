@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTraceEngines(t *testing.T) {
+	for _, eng := range []string{"rio", "centralized", "ws", "prio", "sequential"} {
+		var buf bytes.Buffer
+		args := []string{"-workload", "lu", "-size", "3", "-workers", "2",
+			"-engine", eng, "-task-size", "200", "-width", "40"}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		out := buf.String()
+		for _, want := range []string{"tasks", "per-kernel breakdown", "critical path", "w0"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s: output missing %q", eng, want)
+			}
+		}
+	}
+}
+
+func TestRunTraceWorkloads(t *testing.T) {
+	for _, wl := range []string{"independent", "random", "gemm", "lu", "cholesky", "wavefront", "tree", "forkjoin"} {
+		var buf bytes.Buffer
+		args := []string{"-workload", wl, "-size", "4", "-workers", "2", "-task-size", "100", "-width", "30"}
+		if err := run(args, &buf); err != nil {
+			t.Errorf("%s: %v", wl, err)
+		}
+	}
+}
+
+func TestRunTraceRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-engine", "nope"}, &buf); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}

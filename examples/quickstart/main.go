@@ -1,0 +1,73 @@
+// Quickstart: a minimal Sequential Task Flow program run under the
+// decentralized in-order (RIO) execution model.
+//
+// The program computes, over three runtime-managed data objects, a small
+// dependency chain:
+//
+//	t0: x  = 1         (write x)
+//	t1: y  = 2         (write y)
+//	t2: z  = x + y     (read x, read y, write z)
+//	t3: z  = z * 10    (read-write z)
+//
+// Every worker replays the program; the mapping decides who executes what;
+// the runtime's decentralized counters enforce the data dependencies, so
+// t2 always sees both writes and t3 always follows t2.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rio"
+)
+
+func main() {
+	const (
+		x = rio.DataID(0)
+		y = rio.DataID(1)
+		z = rio.DataID(2)
+	)
+	vals := make([]int, 3)
+
+	program := func(s rio.Submitter) {
+		s.Submit(func() { vals[x] = 1 }, rio.Write(x))
+		s.Submit(func() { vals[y] = 2 }, rio.Write(y))
+		s.Submit(func() { vals[z] = vals[x] + vals[y] },
+			rio.Read(x), rio.Read(y), rio.Write(z))
+		s.Submit(func() { vals[z] *= 10 }, rio.RW(z))
+	}
+
+	// The in-order engine needs a static mapping: here, tasks round-robin
+	// over 2 workers (t0,t2 on worker 0; t1,t3 on worker 1).
+	rt, err := rio.New(rio.Options{
+		Model:   rio.InOrder,
+		Workers: 2,
+		Mapping: rio.CyclicMapping(2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.Run(3, program); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("z = %d (want 30)\n", vals[z])
+	st := rt.Stats()
+	fmt.Printf("engine=%s workers=%d executed=%d declared=%d wall=%v\n",
+		rt.Name(), rt.NumWorkers(), st.Executed(), st.Declared(), st.Wall)
+
+	// The same program runs unchanged under the other execution models.
+	for _, model := range []rio.Model{rio.Centralized, rio.Sequential} {
+		vals[x], vals[y], vals[z] = 0, 0, 0
+		alt, err := rio.New(rio.Options{Model: model, Workers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := alt.Run(3, program); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s z = %d\n", alt.Name(), vals[z])
+	}
+}

@@ -1,0 +1,96 @@
+// Commutative reductions: the extension beyond strict sequential
+// consistency the paper points to in §3.4 (data versioning in SuperGlue).
+//
+// A blocked dot product accumulates per-block partial sums into a single
+// accumulator. Two STF formulations are compared:
+//
+//   - ReadWrite accumulation — sequentially consistent but over-ordered:
+//     every accumulation depends on the previous one, so the updates form
+//     a serial chain across workers;
+//   - Reduction accumulation — the updates commute: workers fold their
+//     blocks into the accumulator in any order (the engine serializes the
+//     bodies), and only the final read is ordered after all of them.
+//
+// Both produce the same sum; the reduction version removes the chain of
+// cross-worker dependency waits.
+//
+// Run with: go run ./examples/reduction [-n 1048576] [-blocks 256] [-workers 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rio"
+)
+
+func main() {
+	n := flag.Int("n", 1<<20, "vector length")
+	blocks := flag.Int("blocks", 256, "number of accumulation blocks")
+	workers := flag.Int("workers", 4, "worker count")
+	flag.Parse()
+
+	x := make([]float64, *n)
+	y := make([]float64, *n)
+	for i := range x {
+		x[i] = float64(i%97) / 97
+		y[i] = float64(i%89) / 89
+	}
+	// Reference.
+	var want float64
+	for i := range x {
+		want += x[i] * y[i]
+	}
+
+	for _, mode := range []string{"read-write chain", "reduction"} {
+		var acc float64
+		var got float64
+		const accData = rio.DataID(0)
+
+		program := func(s rio.Submitter) {
+			per := (*n + *blocks - 1) / *blocks
+			for bl := 0; bl < *blocks; bl++ {
+				lo := bl * per
+				hi := min(lo+per, *n)
+				access := rio.RW(accData)
+				if mode == "reduction" {
+					access = rio.Reduce(accData)
+				}
+				s.Submit(func() {
+					var part float64
+					for i := lo; i < hi; i++ {
+						part += x[i] * y[i]
+					}
+					acc += part
+				}, access)
+			}
+			s.Submit(func() { got = acc }, rio.Read(accData))
+		}
+
+		rt, err := rio.New(rio.Options{
+			Model:   rio.InOrder,
+			Workers: *workers,
+			Mapping: rio.CyclicMapping(*workers),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if err := rt.Run(1, program); err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(t0)
+
+		st := rt.Stats()
+		eff := rio.Decompose(st.Wall, st.Wall, st)
+		rel := (got - want) / want
+		fmt.Printf("%-18s wall=%-12v e_p=%.3f dot=%.6f (rel.err %.1e)\n",
+			mode, wall.Round(time.Microsecond), eff.Pipelining, got, rel)
+		if rel > 1e-9 || rel < -1e-9 {
+			log.Fatalf("%s: wrong dot product", mode)
+		}
+	}
+	fmt.Println("both formulations agree; the reduction one removes the serial accumulation chain.")
+}

@@ -1,0 +1,121 @@
+package bench_test
+
+import (
+	"testing"
+
+	"rio/internal/bench"
+)
+
+func ablCfg() bench.AblationConfig {
+	return bench.AblationConfig{Workers: 3, Reps: 1, TaskSize: 50, Tasks: 100}
+}
+
+func TestSchedulerAblation(t *testing.T) {
+	rows, err := bench.SchedulerAblation(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (fifo, ws, ws+hint, prio)", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Engine] = true
+		if r.Tasks == 0 || r.Wall <= 0 {
+			t.Errorf("bad row %+v", r)
+		}
+	}
+	for _, want := range []string{"fifo", "ws", "ws+hint", "prio"} {
+		if !names[want] {
+			t.Errorf("variant %q missing", want)
+		}
+	}
+}
+
+func TestWindowAblation(t *testing.T) {
+	rows, err := bench.WindowAblation(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tasks != 100 {
+			t.Errorf("%s executed %d tasks", r.Engine, r.Tasks)
+		}
+	}
+}
+
+func TestSpinAblation(t *testing.T) {
+	rows, err := bench.SpinAblation(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+}
+
+func TestMappingAblation(t *testing.T) {
+	rows, err := bench.MappingAblation(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	// All variants execute the same task count (same graph).
+	for _, r := range rows[1:] {
+		if r.Tasks != rows[0].Tasks {
+			t.Errorf("%s executed %d tasks, %s executed %d", r.Engine, r.Tasks, rows[0].Engine, rows[0].Tasks)
+		}
+	}
+}
+
+func TestSparseAblation(t *testing.T) {
+	rows, err := bench.SparseAblation(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tasks != 100 {
+			t.Errorf("%s executed %d tasks", r.Engine, r.Tasks)
+		}
+	}
+	if rows[0].Engine != "proportional" {
+		t.Errorf("first variant = %s", rows[0].Engine)
+	}
+}
+
+func TestTraceOverheadAblation(t *testing.T) {
+	rows, err := bench.TraceOverhead(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Engine != "rio/plain" || rows[1].Engine != "rio/traced" {
+		t.Errorf("variants = %s, %s", rows[0].Engine, rows[1].Engine)
+	}
+}
+
+func TestAblationsAll(t *testing.T) {
+	rows, err := bench.Ablations(ablCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4+6+5+6+3+2 {
+		t.Fatalf("rows = %d, want 26", len(rows))
+	}
+}
+
+func TestAblationRejectsBadConfig(t *testing.T) {
+	if _, err := bench.Ablations(bench.AblationConfig{Workers: 1, Tasks: 10}); err == nil {
+		t.Error("1 worker accepted")
+	}
+}

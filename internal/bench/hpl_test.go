@@ -1,0 +1,56 @@
+package bench_test
+
+import (
+	"testing"
+
+	"rio/internal/bench"
+)
+
+func TestHPLRows(t *testing.T) {
+	rows, err := bench.HPL(bench.HPLConfig{
+		N: 32, PanelWidths: []int{8, 16}, Workers: 3, Reps: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 widths × 3 engines
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Wall <= 0 || r.Tasks == 0 {
+			t.Errorf("bad row %+v", r)
+		}
+		if r.Engine == "sequential" && r.Workers != 1 {
+			t.Errorf("sequential row reports %d workers", r.Workers)
+		}
+	}
+	// Task count per width follows the flow formula:
+	// panels·(b + b(b-1) + b(b-1)/2) + Σ_k (laswp + 2·right-cols).
+	for i, b := range []int{8, 16} {
+		n := 32
+		want := int64(0)
+		for kb := 0; kb < n; kb += b {
+			want += int64(b + b*(b-1) + b*(b-1)/2)
+			left := kb
+			right := n - kb - b
+			want += int64(left+right) + 2*int64(right)
+		}
+		if rows[3*i].Tasks != want {
+			t.Errorf("b=%d: tasks = %d, want %d", b, rows[3*i].Tasks, want)
+		}
+	}
+}
+
+func TestHPLRejectsBadConfig(t *testing.T) {
+	bad := []bench.HPLConfig{
+		{N: 32, PanelWidths: []int{7}, Workers: 2, Reps: 1},
+		{N: 0, PanelWidths: []int{8}, Workers: 2, Reps: 1},
+		{N: 32, PanelWidths: nil, Workers: 2, Reps: 1},
+		{N: 32, PanelWidths: []int{8}, Workers: 1, Reps: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := bench.HPL(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+	"time"
+)
+
+// RenderRows writes rows as an aligned text table, the format the
+// cmd/rio-bench CLI prints. Efficiency columns are shown only when at least
+// one row carries a decomposition.
+func RenderRows(w io.Writer, rows []Row) error {
+	withEff := false
+	for _, r := range rows {
+		if r.Eff != (effZero) {
+			withEff = true
+			break
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if withEff {
+		fmt.Fprintln(tw, "experiment\tworkload\tengine\tp\ttask-size\ttasks\twall\tper-task\te_g\te_l\te_p\te_r\te")
+	} else {
+		fmt.Fprintln(tw, "experiment\tworkload\tengine\tp\ttask-size\ttasks\twall\tper-task")
+	}
+	for _, r := range rows {
+		base := fmt.Sprintf("%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s",
+			r.Experiment, r.Workload, r.Engine, r.Workers, r.TaskSize, r.Tasks,
+			fmtDur(r.Wall), fmtDur(r.PerTask))
+		if withEff {
+			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n", base,
+				r.Eff.Granularity, r.Eff.Locality, r.Eff.Pipelining, r.Eff.Runtime, r.Eff.Parallel)
+		} else {
+			fmt.Fprintln(tw, base)
+		}
+	}
+	return tw.Flush()
+}
+
+var effZero = Row{}.Eff
+
+// WriteCSV emits rows as CSV for external plotting.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"experiment", "workload", "engine", "workers", "task_size", "tasks",
+		"wall_ns", "per_task_ns", "e_g", "e_l", "e_p", "e_r", "e"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Experiment, r.Workload, r.Engine,
+			strconv.Itoa(r.Workers),
+			strconv.FormatUint(r.TaskSize, 10),
+			strconv.FormatInt(r.Tasks, 10),
+			strconv.FormatInt(r.Wall.Nanoseconds(), 10),
+			strconv.FormatInt(r.PerTask.Nanoseconds(), 10),
+			fmtF(r.Eff.Granularity), fmtF(r.Eff.Locality),
+			fmtF(r.Eff.Pipelining), fmtF(r.Eff.Runtime), fmtF(r.Eff.Parallel),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderCostModel writes a cost-model validation report.
+func RenderCostModel(w io.Writer, rep *CostModelReport) error {
+	fmt.Fprintf(w, "fitted per-task runtime cost: centralized t_r = %s, rio t_r = %s\n",
+		fmtDur(rep.TrCentralized), fmtDur(rep.TrRIO))
+	fmt.Fprintf(w, "counter kernel: %.3f ns/op; predicted centralized crossover ≈ %d ops/task\n",
+		rep.NsPerOp, rep.CrossoverOps)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\ttask-size\tmeasured\tpredicted\trel-err")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.0f%%\n",
+			r.Engine, r.TaskSize, fmtDur(r.Measured), fmtDur(r.Predicted), 100*r.RelErr)
+	}
+	return tw.Flush()
+}
+
+// fmtDur rounds durations for table display.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'f', 4, 64) }

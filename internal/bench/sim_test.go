@@ -1,0 +1,105 @@
+package bench_test
+
+import (
+	"testing"
+
+	"rio/internal/bench"
+)
+
+func simCfg() bench.SimConfig {
+	return bench.SimConfig{
+		SimWorkers: 24, FitWorkers: 3, FitTasks: 512,
+		Tasks: 256, TaskSizes: []uint64{100, 100000}, Seed: 1, Reps: 1,
+	}
+}
+
+func TestFitCosts(t *testing.T) {
+	costs, err := bench.FitCosts(simCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs.NsPerOp <= 0 {
+		t.Errorf("NsPerOp = %v", costs.NsPerOp)
+	}
+	if costs.RIO.DeclareCost <= 0 {
+		t.Errorf("declare cost = %v", costs.RIO.DeclareCost)
+	}
+	if costs.Centralized.DispatchCost <= 0 {
+		t.Errorf("dispatch cost = %v", costs.Centralized.DispatchCost)
+	}
+	// The structural relation the whole paper rests on: skipping a
+	// foreign task is much cheaper than centrally dispatching one.
+	if costs.RIO.DeclareCost >= costs.Centralized.DispatchCost {
+		t.Errorf("declare (%v) should be far below dispatch (%v)",
+			costs.RIO.DeclareCost, costs.Centralized.DispatchCost)
+	}
+}
+
+func TestFitCostsValidation(t *testing.T) {
+	if _, err := bench.FitCosts(bench.SimConfig{FitWorkers: 1, FitTasks: 10}); err == nil {
+		t.Error("bad fit config accepted")
+	}
+}
+
+func TestSimFig8ShapeAtPaperScale(t *testing.T) {
+	rows, costs, err := bench.SimFig8(simCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costs == nil {
+		t.Fatal("no fitted costs returned")
+	}
+	// 4 experiments × 2 sizes × 2 models.
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	byKey := map[string]bench.Row{}
+	for _, r := range rows {
+		byKey[r.Experiment+"/"+r.Engine+"/"+itoa(r.TaskSize)] = r
+		// The centralized runtime efficiency is capped by the dedicated
+		// master: e_r <= (p-1)/p = 23/24 ≈ 0.9583 (paper §5.2).
+		if r.Engine == "sim-centralized" && r.Eff.Runtime > float64(23)/24+1e-9 {
+			t.Errorf("%s size=%d: centralized e_r = %v exceeds (p-1)/p", r.Experiment, r.TaskSize, r.Eff.Runtime)
+		}
+	}
+	// Headline shape on exp1: at 100-op tasks RIO beats centralized by a
+	// wide margin; at 100k-op tasks they converge.
+	fineRIO := byKey["sim-fig8-exp1-independent/sim-rio/100"]
+	fineCen := byKey["sim-fig8-exp1-independent/sim-centralized/100"]
+	if fineRIO.Wall*4 > fineCen.Wall {
+		t.Errorf("fine grain: rio %v vs centralized %v — expected >4x gap", fineRIO.Wall, fineCen.Wall)
+	}
+	coarseRIO := byKey["sim-fig8-exp1-independent/sim-rio/100000"]
+	coarseCen := byKey["sim-fig8-exp1-independent/sim-centralized/100000"]
+	ratio := float64(coarseCen.Wall) / float64(coarseRIO.Wall)
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Errorf("coarse grain: engines should converge, ratio %v", ratio)
+	}
+}
+
+func TestSimFig8Validation(t *testing.T) {
+	cfg := simCfg()
+	cfg.SimWorkers = 1
+	if _, _, err := bench.SimFig8(cfg); err == nil {
+		t.Error("1 simulated worker accepted")
+	}
+	cfg = simCfg()
+	cfg.TaskSizes = nil
+	if _, _, err := bench.SimFig8(cfg); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

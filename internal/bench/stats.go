@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"rio/internal/stf"
+)
+
+// Distribution summarizes repeated wall-time measurements. Medians are
+// what the figures report; the spread quantifies the GC/scheduler noise
+// the repro-band warned about, so EXPERIMENTS.md can state it.
+type Distribution struct {
+	// Samples holds the raw wall times, sorted ascending.
+	Samples []time.Duration
+}
+
+// Min, Median, Max are order statistics of the samples.
+func (d Distribution) Min() time.Duration { return d.at(0) }
+
+// Median returns the middle sample.
+func (d Distribution) Median() time.Duration { return d.at(len(d.Samples) / 2) }
+
+// Max returns the largest sample.
+func (d Distribution) Max() time.Duration { return d.at(len(d.Samples) - 1) }
+
+// Mean returns the arithmetic mean.
+func (d Distribution) Mean() time.Duration {
+	if len(d.Samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range d.Samples {
+		sum += s
+	}
+	return sum / time.Duration(len(d.Samples))
+}
+
+// Stddev returns the sample standard deviation.
+func (d Distribution) Stddev() time.Duration {
+	n := len(d.Samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(d.Mean())
+	var ss float64
+	for _, s := range d.Samples {
+		diff := float64(s) - mean
+		ss += diff * diff
+	}
+	return time.Duration(math.Sqrt(ss / float64(n-1)))
+}
+
+// RelSpread returns stddev / mean (the coefficient of variation).
+func (d Distribution) RelSpread() float64 {
+	if m := d.Mean(); m > 0 {
+		return float64(d.Stddev()) / float64(m)
+	}
+	return 0
+}
+
+// String renders "median ±cv%" for reports.
+func (d Distribution) String() string {
+	return fmt.Sprintf("%v ±%.0f%%", d.Median().Round(time.Microsecond), 100*d.RelSpread())
+}
+
+func (d Distribution) at(i int) time.Duration {
+	if len(d.Samples) == 0 {
+		return 0
+	}
+	return d.Samples[i]
+}
+
+// MeasureDist runs prog warmup+reps times and returns the full wall-time
+// distribution (Measure returns only the median run).
+func MeasureDist(e Engine, numData int, prog stf.Program, warmup, reps int) (Distribution, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	for i := 0; i < warmup; i++ {
+		if err := e.Run(numData, prog); err != nil {
+			return Distribution{}, err
+		}
+	}
+	samples := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		if err := e.Run(numData, prog); err != nil {
+			return Distribution{}, err
+		}
+		samples = append(samples, e.Stats().Wall)
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	return Distribution{Samples: samples}, nil
+}

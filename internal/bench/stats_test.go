@@ -1,0 +1,67 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rio/internal/bench"
+	"rio/internal/graphs"
+	"rio/internal/stf"
+)
+
+func TestDistributionStatistics(t *testing.T) {
+	d := bench.Distribution{Samples: []time.Duration{1, 2, 3, 4, 10}}
+	if d.Min() != 1 || d.Max() != 10 || d.Median() != 3 {
+		t.Errorf("order stats: min=%v med=%v max=%v", d.Min(), d.Median(), d.Max())
+	}
+	if d.Mean() != 4 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	// Sample stddev of {1,2,3,4,10}: variance = (9+4+1+0+36)/4 = 12.5.
+	if sd := d.Stddev(); sd < 3 || sd > 4 {
+		t.Errorf("stddev = %v, want ≈3.54", sd)
+	}
+	// Durations truncate to integer nanoseconds: stddev 3.54 → 3ns.
+	if rs := d.RelSpread(); rs < 0.7 || rs > 0.95 {
+		t.Errorf("rel spread = %v", rs)
+	}
+	if !strings.Contains(d.String(), "±") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestDistributionDegenerate(t *testing.T) {
+	var d bench.Distribution
+	if d.Min() != 0 || d.Median() != 0 || d.Max() != 0 || d.Mean() != 0 || d.Stddev() != 0 || d.RelSpread() != 0 {
+		t.Error("empty distribution not all-zero")
+	}
+	one := bench.Distribution{Samples: []time.Duration{5}}
+	if one.Stddev() != 0 {
+		t.Error("single-sample stddev not zero")
+	}
+}
+
+func TestMeasureDist(t *testing.T) {
+	e, err := bench.NewEngine(bench.Sequential, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphs.Independent(100)
+	prog := stf.Replay(g, func(*stf.Task, stf.WorkerID) {})
+	d, err := bench.MeasureDist(e, 0, prog, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 5 {
+		t.Fatalf("samples = %d", len(d.Samples))
+	}
+	for i := 1; i < len(d.Samples); i++ {
+		if d.Samples[i] < d.Samples[i-1] {
+			t.Fatal("samples not sorted")
+		}
+	}
+	if d.Median() <= 0 {
+		t.Error("non-positive median")
+	}
+}

@@ -1,0 +1,323 @@
+package centralized
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rio/internal/stf"
+	"rio/internal/trace"
+)
+
+// Options configures a centralized engine.
+type Options struct {
+	// Workers is the total number of threads p, master included. One
+	// thread (the master) is entirely dedicated to task management — the
+	// paper notes this caps the runtime efficiency at (p-1)/p. Must be
+	// >= 2 so at least one executor exists.
+	Workers int
+	// Scheduler selects the dispatch strategy (FIFO by default).
+	Scheduler SchedulerKind
+	// Window bounds the number of in-flight (submitted but not completed)
+	// tasks; the master blocks when it is reached, like StarPU's
+	// submission window. 0 means unbounded.
+	Window int
+	// Hint optionally maps tasks to preferred workers; only the
+	// WorkStealing scheduler uses it (as a locality hint — unlike the
+	// decentralized engine's Mapping, it is not binding). Hinted worker
+	// IDs refer to executors, numbered 0..Workers-2.
+	Hint stf.Mapping
+	// NoAccounting disables per-task and per-wait time-stamping.
+	NoAccounting bool
+}
+
+// Engine is a centralized out-of-order STF execution engine.
+type Engine struct {
+	workers int // total threads, master included
+	kind    SchedulerKind
+	window  int
+	hint    stf.Mapping
+	noAcct  bool
+	stats   trace.Stats
+}
+
+// New returns a centralized engine for the given options.
+func New(o Options) (*Engine, error) {
+	if o.Workers < 2 {
+		return nil, fmt.Errorf("centralized: Workers must be >= 2 (one master + executors), got %d", o.Workers)
+	}
+	if o.Window < 0 {
+		return nil, fmt.Errorf("centralized: negative Window %d", o.Window)
+	}
+	return &Engine{workers: o.Workers, kind: o.Scheduler, window: o.Window, hint: o.Hint, noAcct: o.NoAccounting}, nil
+}
+
+// Name identifies the execution model in reports.
+func (e *Engine) Name() string { return "centralized-" + e.kind.String() }
+
+// NumWorkers returns p (master included).
+func (e *Engine) NumWorkers() int { return e.workers }
+
+// Run executes prog over numData data objects: the calling goroutine
+// becomes the master (unrolling prog, deriving dependencies, dispatching),
+// while Workers-1 executor goroutines consume ready tasks.
+func (e *Engine) Run(numData int, prog stf.Program) error {
+	if numData < 0 {
+		return errors.New("centralized: negative numData")
+	}
+	nexec := e.workers - 1
+	var sched scheduler
+	switch e.kind {
+	case WorkStealing:
+		sched = newStealScheduler(nexec)
+	case Priority:
+		sched = newPrioScheduler()
+	default:
+		sched = newFIFO()
+	}
+
+	m := &master{
+		eng:    e,
+		sched:  sched,
+		states: make([]depState, numData),
+		redMu:  make([]sync.Mutex, numData),
+	}
+	m.progress = sync.NewCond(&m.mu)
+
+	type execStats struct {
+		task, idle time.Duration
+		wall       time.Duration
+		executed   int64
+	}
+	stats := make([]execStats, nexec)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(nexec)
+	for w := 0; w < nexec; w++ {
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for {
+				t, idle := sched.pop(w)
+				stats[w].idle += idle
+				if t == nil {
+					break
+				}
+				execTask(m, t, stf.WorkerID(w), e.noAcct, &stats[w].task)
+				stats[w].executed++
+				// Completion is propagated even after a panic so the
+				// master's drain and the successors' counts terminate;
+				// the recorded error fails the run.
+				m.onComplete(t)
+			}
+			stats[w].wall = time.Since(t0)
+		}(w)
+	}
+
+	// The master unrolls the task flow.
+	mt0 := time.Now()
+	prog(m)
+	m.drain()
+	sched.close()
+	masterWall := time.Since(mt0)
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Assemble the per-thread decomposition: index 0 is the master, whose
+	// non-idle activity is all runtime management.
+	st := trace.Stats{Workers: make([]trace.WorkerStats, e.workers), Wall: wall, Accounted: !e.noAcct}
+	mw := trace.WorkerStats{Wall: masterWall, Idle: m.idle}
+	if !e.noAcct {
+		if r := masterWall - m.idle; r > 0 {
+			mw.Runtime = r
+		}
+	}
+	st.Workers[0] = mw
+	for w := 0; w < nexec; w++ {
+		ws := trace.WorkerStats{
+			Task:     stats[w].task,
+			Idle:     stats[w].idle,
+			Wall:     stats[w].wall,
+			Executed: stats[w].executed,
+		}
+		if !e.noAcct {
+			if r := ws.Wall - ws.Task - ws.Idle; r > 0 {
+				ws.Runtime = r
+			}
+		}
+		st.Workers[w+1] = ws
+	}
+	e.stats = st
+	if m.err != nil {
+		return m.err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.asyncErr
+}
+
+// Stats returns the time decomposition of the last Run.
+func (e *Engine) Stats() *trace.Stats { return &e.stats }
+
+// master is the stf.Submitter driven by the control thread.
+type master struct {
+	eng    *Engine
+	sched  scheduler
+	states []depState
+	redMu  []sync.Mutex
+	next   stf.TaskID
+	err    error
+
+	// asyncErr records the first worker-side failure (task panic);
+	// guarded by mu.
+	asyncErr error
+
+	mu        sync.Mutex
+	progress  *sync.Cond
+	inflight  int
+	submitted int64
+	completed int64
+
+	idle time.Duration // master time blocked on window or final drain
+}
+
+// Worker implements stf.Submitter: the master executes no tasks.
+func (m *master) Worker() stf.WorkerID { return stf.MasterWorker }
+
+// NumWorkers implements stf.Submitter (total threads, master included).
+func (m *master) NumWorkers() int { return m.eng.workers }
+
+// Submit implements stf.Submitter for closure tasks.
+func (m *master) Submit(fn stf.TaskFunc, accesses ...stf.Access) stf.TaskID {
+	id := m.next
+	m.next++
+	t := &task{id: id, fn: fn, hint: m.hintFor(id)}
+	m.dispatch(t, accesses)
+	return id
+}
+
+// SubmitTask implements stf.Submitter for recorded tasks.
+func (m *master) SubmitTask(rec *stf.Task, k stf.Kernel) stf.TaskID {
+	if rec.ID < m.next {
+		if m.err == nil {
+			m.err = fmt.Errorf("centralized: task ID %d submitted after ID %d", rec.ID, m.next-1)
+		}
+		return rec.ID
+	}
+	m.next = rec.ID + 1
+	t := &task{id: rec.ID, rec: rec, kern: k, hint: m.hintFor(rec.ID)}
+	m.dispatch(t, rec.Accesses)
+	return rec.ID
+}
+
+func (m *master) hintFor(id stf.TaskID) int {
+	if m.eng.hint == nil {
+		return -1
+	}
+	return int(m.eng.hint(id))
+}
+
+// dispatch performs the centralized per-task management work: respect the
+// submission window, derive and register dependencies, and enqueue the task
+// if it is already ready.
+func (m *master) dispatch(t *task, accesses []stf.Access) {
+	if m.err != nil {
+		return
+	}
+	m.mu.Lock()
+	if m.eng.window > 0 {
+		for m.inflight >= m.eng.window {
+			t0 := time.Now()
+			m.progress.Wait()
+			m.idle += time.Since(t0)
+		}
+	}
+	m.inflight++
+	m.submitted++
+	m.mu.Unlock()
+
+	for _, a := range accesses {
+		if a.Mode.Commutes() {
+			t.reds = insertSorted(t.reds, a.Data)
+		}
+	}
+	// The submission guard (+1) keeps the task from becoming ready while
+	// its predecessor edges are still being assembled; wire increments
+	// pending itself, before registering each edge.
+	t.pending.Store(1)
+	wire(m.states, t, accesses)
+	if t.pending.Add(-1) == 0 {
+		m.sched.push(t)
+	}
+}
+
+// onComplete is called by an executor after running t: release successors
+// and update completion accounting.
+func (m *master) onComplete(t *task) {
+	for _, s := range t.complete() {
+		if s.pending.Add(-1) == 0 {
+			m.sched.push(s)
+		}
+	}
+	m.mu.Lock()
+	m.inflight--
+	m.completed++
+	m.mu.Unlock()
+	m.progress.Broadcast()
+}
+
+// execTask runs one task body under its reduction locks, converting a
+// panic into a recorded run error (the unlocks are deferred so a panicking
+// body cannot wedge the per-data mutexes).
+func execTask(m *master, t *task, w stf.WorkerID, noAcct bool, taskTime *time.Duration) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.recordError(fmt.Errorf("centralized: task %d panicked: %v", t.id, r))
+		}
+	}()
+	for _, d := range t.reds {
+		m.redMu[d].Lock()
+		defer m.redMu[d].Unlock()
+	}
+	if noAcct {
+		t.run(w)
+		return
+	}
+	tt := time.Now()
+	t.run(w)
+	*taskTime += time.Since(tt)
+}
+
+// recordError stores the first asynchronous (worker-side) error.
+func (m *master) recordError(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.asyncErr == nil {
+		m.asyncErr = err
+	}
+}
+
+// insertSorted inserts d into the (short) sorted slice s.
+func insertSorted(s []stf.DataID, d stf.DataID) []stf.DataID {
+	i := len(s)
+	for i > 0 && s[i-1] > d {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = d
+	return s
+}
+
+// drain blocks until every submitted task has completed.
+func (m *master) drain() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.completed < m.submitted {
+		t0 := time.Now()
+		m.progress.Wait()
+		m.idle += time.Since(t0)
+	}
+}

@@ -1,0 +1,71 @@
+package centralized_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rio/internal/centralized"
+	"rio/internal/stf"
+)
+
+func TestPanicFailsRunWithoutDeadlock(t *testing.T) {
+	e := newEngine(t, centralized.Options{Workers: 3})
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Run(1, func(s stf.Submitter) {
+			s.Submit(func() { panic("boom") }, stf.W(0))
+			s.Submit(func() {}, stf.R(0)) // successor of the panicked task
+			s.Submit(func() {}, stf.RW(0))
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panicking run returned nil error")
+		}
+		if !strings.Contains(err.Error(), "panic") {
+			t.Errorf("error does not mention the panic: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("master drain deadlocked after task panic")
+	}
+}
+
+func TestPanicUnderReductionLock(t *testing.T) {
+	e := newEngine(t, centralized.Options{Workers: 3})
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Run(1, func(s stf.Submitter) {
+			s.Submit(func() { panic("red") }, stf.Red(0))
+			s.Submit(func() {}, stf.Red(0))
+			s.Submit(func() {}, stf.R(0))
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("no error reported")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("reduction mutex wedged after panic")
+	}
+}
+
+func TestEngineReusableAfterPanic(t *testing.T) {
+	e := newEngine(t, centralized.Options{Workers: 2})
+	if err := e.Run(0, func(s stf.Submitter) {
+		s.Submit(func() { panic("x") })
+	}); err == nil {
+		t.Fatal("no error from panicking run")
+	}
+	ran := false
+	if err := e.Run(0, func(s stf.Submitter) {
+		s.Submit(func() { ran = true })
+	}); err != nil {
+		t.Fatalf("engine unusable after failed run: %v", err)
+	}
+	if !ran {
+		t.Error("second run did not execute")
+	}
+}

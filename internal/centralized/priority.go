@@ -1,0 +1,86 @@
+package centralized
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// prioScheduler dispatches ready tasks deepest-dependency-level first (FIFO
+// among equals): a cheap online approximation of critical-path scheduling —
+// the kind of "good (hence expensive) heuristics" the paper attributes the
+// centralized model's scheduling quality (and cost) to (§3.1). The master
+// assigns each task its level (1 + max over predecessors) during
+// dependency derivation.
+type prioScheduler struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	heap     prioHeap
+	seq      uint64
+	closed   bool
+}
+
+func newPrioScheduler() *prioScheduler {
+	s := &prioScheduler{}
+	s.nonEmpty = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *prioScheduler) push(t *task) {
+	s.mu.Lock()
+	s.seq++
+	heap.Push(&s.heap, prioItem{t: t, seq: s.seq})
+	s.mu.Unlock()
+	s.nonEmpty.Signal()
+}
+
+func (s *prioScheduler) pop(int) (*task, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var idle time.Duration
+	for s.heap.Len() == 0 && !s.closed {
+		t0 := time.Now()
+		s.nonEmpty.Wait()
+		idle += time.Since(t0)
+	}
+	if s.heap.Len() == 0 {
+		return nil, idle
+	}
+	return heap.Pop(&s.heap).(prioItem).t, idle
+}
+
+func (s *prioScheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.nonEmpty.Broadcast()
+}
+
+type prioItem struct {
+	t   *task
+	seq uint64
+}
+
+type prioHeap []prioItem
+
+func (h prioHeap) Len() int { return len(h) }
+
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].t.level != h[j].t.level {
+		return h[i].t.level > h[j].t.level // deeper level first
+	}
+	return h[i].seq < h[j].seq // FIFO among equals
+}
+
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *prioHeap) Push(x any) { *h = append(*h, x.(prioItem)) }
+
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = prioItem{}
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,214 @@
+package centralized
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// scheduler moves ready tasks from the master to the executing workers.
+// push never blocks; pop blocks until a task is available or the scheduler
+// is closed (then it returns nil). pop additionally returns the time the
+// worker spent blocked, which the engine accounts as idle time.
+type scheduler interface {
+	push(t *task)
+	pop(w int) (*task, time.Duration)
+	close()
+}
+
+// SchedulerKind selects the dispatch strategy of the centralized engine.
+type SchedulerKind int
+
+const (
+	// FIFO uses a single shared queue: ready tasks are executed in the
+	// order they became ready, by whichever worker is free ("eager"
+	// dispatch, StarPU's historical default).
+	FIFO SchedulerKind = iota
+	// WorkStealing gives each worker its own deque; tasks are pushed to
+	// the hinted worker (or round-robin) and idle workers steal from the
+	// back of other workers' deques ("lws"-style dispatch).
+	WorkStealing
+	// Priority dispatches ready tasks deepest-dependency-level first — a
+	// cheap online critical-path heuristic ("prio"-style dispatch).
+	Priority
+)
+
+// String returns the scheduler's short name.
+func (k SchedulerKind) String() string {
+	switch k {
+	case FIFO:
+		return "fifo"
+	case WorkStealing:
+		return "ws"
+	case Priority:
+		return "prio"
+	}
+	return "unknown"
+}
+
+// fifoQueue is the single-queue scheduler.
+type fifoQueue struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	items    []*task // used as a ring-free FIFO: append at tail, pop at head
+	head     int
+	closed   bool
+}
+
+func newFIFO() *fifoQueue {
+	q := &fifoQueue{}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *fifoQueue) push(t *task) {
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	q.mu.Unlock()
+	q.nonEmpty.Signal()
+}
+
+func (q *fifoQueue) pop(int) (*task, time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var idle time.Duration
+	for q.head == len(q.items) && !q.closed {
+		t0 := time.Now()
+		q.nonEmpty.Wait()
+		idle += time.Since(t0)
+	}
+	if q.head == len(q.items) {
+		return nil, idle
+	}
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return t, idle
+}
+
+func (q *fifoQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nonEmpty.Broadcast()
+}
+
+// stealScheduler implements per-worker deques with work stealing. A worker
+// pops from the front of its own deque (preserving submission order for
+// hinted tasks) and steals from the back of a victim's deque. Parking uses
+// a shared condition variable with a version counter so that a push between
+// the failed scan and the wait cannot be lost.
+type stealScheduler struct {
+	deques []workerDeque
+
+	mu      sync.Mutex
+	wake    *sync.Cond
+	version uint64
+	closed  bool
+
+	rr atomic.Uint64 // round-robin cursor for unhinted tasks
+}
+
+type workerDeque struct {
+	mu    sync.Mutex
+	items []*task
+	head  int
+	_     [40]byte // keep deques on separate cache lines
+}
+
+func newStealScheduler(workers int) *stealScheduler {
+	s := &stealScheduler{deques: make([]workerDeque, workers)}
+	s.wake = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *stealScheduler) push(t *task) {
+	w := t.hint
+	if w < 0 || w >= len(s.deques) {
+		// Both the master (at submission) and executors (releasing
+		// successors) push, so the cursor must be atomic.
+		w = int((s.rr.Add(1) - 1) % uint64(len(s.deques)))
+	}
+	d := &s.deques[w]
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+
+	s.mu.Lock()
+	s.version++
+	s.mu.Unlock()
+	s.wake.Broadcast()
+}
+
+// popOwn removes the oldest task of w's own deque.
+func (d *workerDeque) popOwn() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.items) {
+		return nil
+	}
+	t := d.items[d.head]
+	d.items[d.head] = nil
+	d.head++
+	if d.head == len(d.items) {
+		d.items = d.items[:0]
+		d.head = 0
+	}
+	return t
+}
+
+// steal removes the newest task of a victim deque.
+func (d *workerDeque) steal() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if d.head == n {
+		return nil
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	if d.head == len(d.items) {
+		d.items = d.items[:0]
+		d.head = 0
+	}
+	return t
+}
+
+func (s *stealScheduler) pop(w int) (*task, time.Duration) {
+	var idle time.Duration
+	for {
+		if t := s.deques[w].popOwn(); t != nil {
+			return t, idle
+		}
+		for i := 1; i < len(s.deques); i++ {
+			if t := s.deques[(w+i)%len(s.deques)].steal(); t != nil {
+				return t, idle
+			}
+		}
+		// Nothing found: park until a push or close changes the world.
+		s.mu.Lock()
+		v := s.version
+		if s.closed {
+			s.mu.Unlock()
+			return nil, idle
+		}
+		t0 := time.Now()
+		for s.version == v && !s.closed {
+			s.wake.Wait()
+		}
+		idle += time.Since(t0)
+		s.mu.Unlock()
+	}
+}
+
+func (s *stealScheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wake.Broadcast()
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Partial mappings (the paper's concluding future-work direction:
+// "combining both execution models, and thus requiring only partial
+// mappings"). A mapping may return stf.SharedWorker for a task instead of
+// a concrete worker: such a task has no static owner and is *claimed* at
+// run time by the first worker whose replay reaches it — a lightweight
+// dynamic load-balancing escape hatch inside the otherwise static in-order
+// model.
+//
+// Cost: one compare-and-swap per unmapped task for the winning worker and
+// one atomic load for everyone else, plus one bit of shared memory per
+// unmapped task — a middle ground between the paper's zero-cost static
+// mapping and a centralized scheduler. Mapped tasks keep the original
+// zero-shared-cost path.
+//
+// Correctness: exactly one worker wins the claim, so each task still has a
+// unique executor; the synchronization protocol of §3.4 never relied on
+// *who* executes a task, only on every worker declaring it — which losers
+// do, exactly as for any foreign task. In-order execution per worker is
+// preserved, so the no-deadlock argument (the earliest unexecuted task is
+// always runnable) carries over: if it is unclaimed, whoever reaches it
+// claims it; if claimed, its claimant is at it.
+
+// claimTable tracks claimed task IDs in fixed-size pages so that the flow
+// length need not be known in advance. Pages are allocated on demand; the
+// page index is guarded by a mutex but cached read-side with an atomic
+// pointer, so the steady-state cost of a claim check is two atomic loads.
+type claimTable struct {
+	mu    sync.Mutex
+	pages atomic.Pointer[[]*claimPage]
+}
+
+const claimPageBits = 12 // 4096 tasks per page
+
+type claimPage struct {
+	bits [1 << (claimPageBits - 6)]atomic.Uint64
+}
+
+func newClaimTable() *claimTable {
+	t := &claimTable{}
+	empty := make([]*claimPage, 0)
+	t.pages.Store(&empty)
+	return t
+}
+
+// tryClaim atomically claims task id; it returns true for exactly one
+// caller per id.
+func (t *claimTable) tryClaim(id int64) bool {
+	page := t.page(id)
+	word := &page.bits[(id>>6)&((1<<(claimPageBits-6))-1)]
+	bit := uint64(1) << (uint(id) & 63)
+	for {
+		old := word.Load()
+		if old&bit != 0 {
+			return false
+		}
+		if word.CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// page returns the page holding id, allocating it (and any gap before it)
+// if needed.
+func (t *claimTable) page(id int64) *claimPage {
+	idx := int(id >> claimPageBits)
+	if ps := *t.pages.Load(); idx < len(ps) {
+		return ps[idx]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := *t.pages.Load()
+	for idx >= len(ps) {
+		grown := make([]*claimPage, len(ps)+1)
+		copy(grown, ps)
+		grown[len(ps)] = &claimPage{}
+		ps = grown
+	}
+	t.pages.Store(&ps)
+	return ps[idx]
+}

@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rio/internal/core"
+	"rio/internal/enginetest"
+	"rio/internal/graphs"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// Partial-mapping tests: tasks mapped to stf.SharedWorker are claimed
+// dynamically by the first worker to reach them.
+
+// sharedMapping maps every task to SharedWorker.
+func sharedMapping(stf.TaskID) stf.WorkerID { return stf.SharedWorker }
+
+func TestAllSharedTasksRunExactlyOnce(t *testing.T) {
+	const n = 2000
+	for _, p := range []int{1, 2, 4} {
+		e := newEngine(t, core.Options{Workers: p, Mapping: sharedMapping})
+		var ran atomic.Int64
+		counts := make([]atomic.Int32, n)
+		err := e.Run(0, func(s stf.Submitter) {
+			for i := 0; i < n; i++ {
+				i := i
+				s.Submit(func() {
+					counts[i].Add(1)
+					ran.Add(1)
+				})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != n {
+			t.Fatalf("p=%d: %d executions, want %d", p, ran.Load(), n)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("p=%d: task %d executed %d times", p, i, c)
+			}
+		}
+		st := e.Stats()
+		if st.Claimed() != n {
+			t.Errorf("p=%d: claimed = %d, want %d", p, st.Claimed(), n)
+		}
+		if st.Executed() != n {
+			t.Errorf("p=%d: executed = %d, want %d", p, st.Executed(), n)
+		}
+	}
+}
+
+func TestSharedTasksRespectDependencies(t *testing.T) {
+	for _, g := range []*stf.Graph{
+		graphs.LU(5),
+		graphs.RandomDeps(300, 16, 2, 1, 21),
+		graphs.Wavefront(6, 6),
+	} {
+		for _, p := range []int{2, 4} {
+			e := newEngine(t, core.Options{Workers: p, Mapping: sharedMapping})
+			if err := enginetest.Check(e, g); err != nil {
+				t.Errorf("%s p=%d all-shared: %v", g.Name, p, err)
+			}
+		}
+	}
+}
+
+func TestPartialMappingMixesStaticAndShared(t *testing.T) {
+	g := graphs.RandomDeps(400, 24, 2, 1, 5)
+	p := 3
+	// Every third task has no static owner.
+	m := sched.Partial(sched.Cyclic(p), func(id stf.TaskID) bool { return id%3 == 0 })
+	if err := sched.Validate(g, m, p); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, core.Options{Workers: p, Mapping: m})
+	if err := enginetest.Check(e, g); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	wantShared := int64(0)
+	for i := range g.Tasks {
+		if i%3 == 0 {
+			wantShared++
+		}
+	}
+	if st.Claimed() != wantShared {
+		t.Errorf("claimed = %d, want %d", st.Claimed(), wantShared)
+	}
+	if st.Executed() != int64(len(g.Tasks)) {
+		t.Errorf("executed = %d, want %d", st.Executed(), len(g.Tasks))
+	}
+}
+
+func TestSharedTasksLoadBalance(t *testing.T) {
+	// One worker is given a single long static task up front; the shared
+	// tail should be picked up overwhelmingly by the other worker. The
+	// long task sleeps (rather than spins) so the test does not depend on
+	// preemption of a tight loop when goroutines outnumber hardware
+	// threads.
+	const tail = 400
+	e := newEngine(t, core.Options{Workers: 2, Mapping: sched.Partial(
+		sched.Single(0),
+		func(id stf.TaskID) bool { return id > 0 },
+	)})
+	perWorker := make([]atomic.Int64, 2)
+	err := e.Run(0, func(s stf.Submitter) {
+		s.Submit(func() { time.Sleep(20 * time.Millisecond) })
+		for i := 0; i < tail; i++ {
+			s.Submit(func() { perWorker[s.Worker()].Add(1) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := perWorker[0].Load() + perWorker[1].Load(); got != tail {
+		t.Fatalf("tail executions = %d, want %d", got, tail)
+	}
+	if perWorker[1].Load() == 0 {
+		t.Error("worker 1 claimed nothing despite worker 0 being busy")
+	}
+}
+
+func TestPartialMappingPrunedReplay(t *testing.T) {
+	g := graphs.RandomDeps(200, 16, 2, 1, 17)
+	p := 3
+	m := sched.Partial(sched.Cyclic(p), func(id stf.TaskID) bool { return id%5 == 0 })
+	want, err := enginetest.Golden(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sched.Relevant(g, m, p)
+	// Shared tasks must be relevant to every worker.
+	for i := range g.Tasks {
+		if i%5 != 0 {
+			continue
+		}
+		for w := 0; w < p; w++ {
+			if !rel[w][i] {
+				t.Fatalf("shared task %d pruned from worker %d", i, w)
+			}
+		}
+	}
+	e := newEngine(t, core.Options{Workers: p, Mapping: m})
+	got, err := enginetest.RunProgram(e, g, func(k stf.Kernel) stf.Program {
+		return sched.PrunedReplay(g, k, rel)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.Compare(g, want, got); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPartialMappingsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := enginetest.RandomGraph(rng, 50, 8)
+		p := 1 + rng.Intn(4)
+		owners := make([]stf.WorkerID, len(g.Tasks))
+		for i := range owners {
+			if rng.Intn(3) == 0 {
+				owners[i] = stf.SharedWorker
+			} else {
+				owners[i] = stf.WorkerID(rng.Intn(p))
+			}
+		}
+		e, err := core.New(core.Options{Workers: p, Mapping: sched.Table(owners)})
+		if err != nil {
+			return false
+		}
+		return enginetest.Check(e, g) == nil
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// claimTable paging: task IDs far beyond one page must work (pages
+// allocated on demand, including gaps).
+func TestClaimTablePaging(t *testing.T) {
+	const n = 10_000 // crosses several 4096-entry pages
+	e := newEngine(t, core.Options{Workers: 3, Mapping: sharedMapping})
+	var ran atomic.Int64
+	err := e.Run(0, func(s stf.Submitter) {
+		for i := 0; i < n; i++ {
+			s.Submit(func() { ran.Add(1) })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran = %d, want %d", ran.Load(), n)
+	}
+}

@@ -1,0 +1,139 @@
+// Package core implements the paper's contribution: the RIO (Run-In-Order)
+// decentralized in-order execution model for STF programs (paper §3).
+//
+// Every worker replays the whole task flow (decentralized task management,
+// §3.3). A deterministic mapping function assigns each task to exactly one
+// worker (§3.2). A worker executes the tasks mapped to it, in task-flow
+// order, and merely *declares* — a couple of writes to private memory — the
+// tasks mapped to others. Data accesses are synchronized by the
+// decentralized protocol of §3.4 (Algorithms 1 and 2): per-data shared
+// state records what has *executed*, per-worker local state records what
+// has been *encountered*, and a worker acquiring a data object waits until
+// the two agree.
+//
+// Beyond the paper's strict R/W protocol, the package implements the §3.4
+// extension it points to (data versioning à la SuperGlue): commutative
+// Reduction accesses. A run of consecutive reductions is ordered like a
+// single write with respect to everything around it, but its members may
+// execute in any order, serialized by a per-data mutex.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// sharedState is the shared half of a data object's synchronization state
+// (Algorithm 2). It occupies its own cache line to avoid false sharing
+// between data objects.
+//
+// Invariant: at most one task at a time is between get_write and
+// terminate_write on a given data object (guaranteed by the protocol
+// itself), so lastExecutedWrite is only ever advanced by a single writer;
+// readers and reducers increment their counters concurrently.
+type sharedState struct {
+	// lastExecutedWrite is the TaskID of the last write performed on the
+	// data (stf.NoTask before any write).
+	lastExecutedWrite atomic.Int64
+	// nbReadsSinceWrite counts the reads performed since the last write.
+	nbReadsSinceWrite atomic.Int64
+	// nbRedsSinceWrite counts the reductions performed since the last
+	// write.
+	nbRedsSinceWrite atomic.Int64
+	// redMu serializes reduction task bodies on this data (members of a
+	// reduction run commute but must not overlap).
+	redMu sync.Mutex
+	_     [24]byte // pad to a 64-byte cache line
+}
+
+// localState is the private half, one per (worker, data) pair: what this
+// worker has encountered in the task flow so far, whether or not the
+// corresponding tasks have executed yet. Only its owning worker touches it,
+// so plain (non-atomic) fields suffice — this is what makes declaring a
+// foreign task nearly free (one or two private writes per dependency,
+// §3.3).
+type localState struct {
+	// lastRegisteredWrite is the TaskID of the last write encountered.
+	lastRegisteredWrite int64
+	// nbReadsSinceWrite counts the reads encountered since that write.
+	nbReadsSinceWrite int64
+	// nbRedsSinceWrite counts the reductions encountered since that
+	// write.
+	nbRedsSinceWrite int64
+	// nbRedsBeforeRun is the reduction count at the start of the current
+	// reduction run (any non-reduction access closes the run). A
+	// reduction waits only for reductions of *earlier* runs, never for
+	// members of its own run — that is what lets them commute.
+	nbRedsBeforeRun int64
+}
+
+// declareRead implements declare_read: the worker encountered a read it
+// will not execute. A read also closes any open reduction run.
+func (l *localState) declareRead() {
+	l.nbReadsSinceWrite++
+	l.nbRedsBeforeRun = l.nbRedsSinceWrite
+}
+
+// declareWrite implements declare_write(task_id). A write resets all
+// since-write counters.
+func (l *localState) declareWrite(id int64) {
+	l.nbReadsSinceWrite = 0
+	l.lastRegisteredWrite = id
+	l.nbRedsSinceWrite = 0
+	l.nbRedsBeforeRun = 0
+}
+
+// declareRed registers an encountered reduction; it extends (or opens) the
+// current run.
+func (l *localState) declareRed() { l.nbRedsSinceWrite++ }
+
+// readReady reports whether a read registered against l may proceed: every
+// write *and reduction* encountered before it has executed (get_read's
+// condition).
+func (l *localState) readReady(s *sharedState) bool {
+	return s.lastExecutedWrite.Load() == l.lastRegisteredWrite &&
+		s.nbRedsSinceWrite.Load() == l.nbRedsSinceWrite
+}
+
+// writeReady reports whether a write registered against l may proceed:
+// every previously encountered write, read and reduction has executed
+// (get_write's condition). The write-ID check must pass before the counts
+// are meaningful; callers wait for the conditions in that order.
+func (l *localState) writeReady(s *sharedState) bool {
+	return s.lastExecutedWrite.Load() == l.lastRegisteredWrite &&
+		s.nbReadsSinceWrite.Load() == l.nbReadsSinceWrite &&
+		s.nbRedsSinceWrite.Load() == l.nbRedsSinceWrite
+}
+
+// redReady reports whether a reduction may proceed: every earlier write and
+// read has executed, and every reduction of *earlier runs* has executed
+// (>= because members of the current run may have completed too).
+func (l *localState) redReady(s *sharedState) bool {
+	return s.lastExecutedWrite.Load() == l.lastRegisteredWrite &&
+		s.nbReadsSinceWrite.Load() == l.nbReadsSinceWrite &&
+		s.nbRedsSinceWrite.Load() >= l.nbRedsBeforeRun
+}
+
+// terminateRead implements terminate_read: publish one performed read, then
+// register it locally.
+func (l *localState) terminateRead(s *sharedState) {
+	s.nbReadsSinceWrite.Add(1)
+	l.declareRead()
+}
+
+// terminateWrite implements terminate_write(task_id). The counters are
+// reset *before* the write ID is published so that a waiter observing the
+// new write ID can never pair it with the previous epoch's counts
+// (single-writer-at-a-time is guaranteed by the protocol itself).
+func (l *localState) terminateWrite(s *sharedState, id int64) {
+	s.nbReadsSinceWrite.Store(0)
+	s.nbRedsSinceWrite.Store(0)
+	s.lastExecutedWrite.Store(id)
+	l.declareWrite(id)
+}
+
+// terminateRed publishes one performed reduction.
+func (l *localState) terminateRed(s *sharedState) {
+	s.nbRedsSinceWrite.Add(1)
+	l.declareRed()
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rio/internal/stf"
+	"rio/internal/trace"
+)
+
+// Options configures a RIO engine.
+type Options struct {
+	// Workers is the number of worker goroutines (p). Must be >= 1.
+	Workers int
+	// Mapping assigns each task to its executing worker. It must be
+	// deterministic and must return values in [0, Workers). If nil, a
+	// cyclic mapping (id mod Workers) is used.
+	Mapping stf.Mapping
+	// NoAccounting disables per-task and per-wait time-stamping. Wall
+	// time and task counters are still collected. Use for overhead
+	// micro-measurements where two time.Now calls per task would matter.
+	NoAccounting bool
+	// SpinLimit is the number of busy-poll iterations before a waiting
+	// worker starts yielding to the Go scheduler (and eventually
+	// sleeping). 0 means DefaultSpinLimit.
+	SpinLimit int
+}
+
+// DefaultSpinLimit is the busy-poll budget of dependency waits before the
+// waiter escalates to runtime.Gosched and then to short sleeps. The
+// escalation keeps the engine live even when goroutines outnumber
+// hardware threads (GOMAXPROCS oversubscription).
+const DefaultSpinLimit = 128
+
+// Engine is a decentralized in-order STF execution engine. An Engine is
+// reusable (Run may be called repeatedly) but not concurrently.
+type Engine struct {
+	workers   int
+	mapping   stf.Mapping
+	noAcct    bool
+	spinLimit int
+	stats     trace.Stats
+}
+
+// New returns a RIO engine for the given options.
+func New(o Options) (*Engine, error) {
+	if o.Workers < 1 {
+		return nil, fmt.Errorf("core: Workers must be >= 1, got %d", o.Workers)
+	}
+	m := o.Mapping
+	if m == nil {
+		p := o.Workers
+		m = func(id stf.TaskID) stf.WorkerID { return stf.WorkerID(id % stf.TaskID(p)) }
+	}
+	sl := o.SpinLimit
+	if sl <= 0 {
+		sl = DefaultSpinLimit
+	}
+	return &Engine{workers: o.Workers, mapping: m, noAcct: o.NoAccounting, spinLimit: sl}, nil
+}
+
+// Name identifies the execution model in reports.
+func (e *Engine) Name() string { return "rio" }
+
+// NumWorkers returns p.
+func (e *Engine) NumWorkers() int { return e.workers }
+
+// Run executes prog over numData data objects. Every worker replays prog
+// (decentralized task management); the call returns once all workers have
+// finished the whole task flow. Run returns an error if any worker detected
+// a protocol violation (non-monotonic task IDs, mapping out of range) or if
+// a task body panicked — the run then aborts: the panicking worker unwinds
+// and the others stop at their next dependency wait.
+func (e *Engine) Run(numData int, prog stf.Program) error {
+	if numData < 0 {
+		return errors.New("core: negative numData")
+	}
+	shared := make([]sharedState, numData)
+	for i := range shared {
+		shared[i].lastExecutedWrite.Store(int64(stf.NoTask))
+	}
+
+	claims := newClaimTable()
+	var aborted atomic.Bool
+	subs := make([]*submitter, e.workers)
+	for w := range subs {
+		subs[w] = &submitter{
+			eng:     e,
+			worker:  stf.WorkerID(w),
+			shared:  shared,
+			local:   make([]localState, numData),
+			claims:  claims,
+			aborted: &aborted,
+		}
+		for d := range subs[w].local {
+			subs[w].local[d].lastRegisteredWrite = int64(stf.NoTask)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(e.workers)
+	for _, s := range subs {
+		go func(s *submitter) {
+			defer wg.Done()
+			t0 := time.Now()
+			// A panicking task (or replay closure) must not leave the
+			// other workers blocked on its unfinished dependencies:
+			// record the panic, raise the abort flag (dependency waits
+			// poll it) and unwind this worker.
+			defer func() {
+				if r := recover(); r != nil {
+					s.fail(fmt.Errorf("core: panic during replay: %v", r))
+					s.aborted.Store(true)
+				}
+				s.ws.Wall = time.Since(t0)
+			}()
+			prog(s)
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	e.stats = trace.Stats{Workers: make([]trace.WorkerStats, e.workers), Wall: wall, Accounted: !e.noAcct}
+	var errs []error
+	for w, s := range subs {
+		ws := s.ws
+		if !e.noAcct {
+			if r := ws.Wall - ws.Task - ws.Idle; r > 0 {
+				ws.Runtime = r
+			}
+		}
+		e.stats.Workers[w] = ws
+		if s.err != nil {
+			errs = append(errs, fmt.Errorf("worker %d: %w", w, s.err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats returns the time decomposition of the last Run.
+func (e *Engine) Stats() *trace.Stats { return &e.stats }
+
+// submitter is the per-worker view of the task flow (Algorithm 1). Each
+// worker replays the program against its own submitter.
+type submitter struct {
+	eng     *Engine
+	worker  stf.WorkerID
+	next    stf.TaskID
+	shared  []sharedState
+	local   []localState
+	claims  *claimTable
+	aborted *atomic.Bool
+	ws      trace.WorkerStats
+	err     error
+}
+
+// errAborted marks workers stopped because another worker panicked.
+var errAborted = errors.New("core: run aborted after a panic on another worker")
+
+// owns resolves the executor of task id for this worker: statically via
+// the mapping, or dynamically (first-to-reach claim) for SharedWorker
+// tasks. It reports whether this worker executes the task; ok is false on
+// a mapping error (already recorded via fail).
+func (s *submitter) owns(id stf.TaskID) (execute, ok bool) {
+	owner := s.eng.mapping(id)
+	switch {
+	case owner == s.worker:
+		return true, true
+	case owner == stf.SharedWorker:
+		if s.claims.tryClaim(int64(id)) {
+			s.ws.Claimed++
+			return true, true
+		}
+		return false, true
+	case owner < 0 || int(owner) >= s.eng.workers:
+		s.fail(fmt.Errorf("core: mapping(%d) = %d out of range [0,%d)", id, owner, s.eng.workers))
+		return false, false
+	default:
+		return false, true
+	}
+}
+
+// Worker implements stf.Submitter.
+func (s *submitter) Worker() stf.WorkerID { return s.worker }
+
+// NumWorkers implements stf.Submitter.
+func (s *submitter) NumWorkers() int { return s.eng.workers }
+
+// Submit implements stf.Submitter for closure tasks.
+func (s *submitter) Submit(fn stf.TaskFunc, accesses ...stf.Access) stf.TaskID {
+	id := s.next
+	s.submit(id, accesses, func() { fn() })
+	return id
+}
+
+// SubmitTask implements stf.Submitter for recorded tasks. Task IDs may skip
+// ahead of the submission counter: the skipped IDs are tasks pruned from
+// this worker's view of the flow (paper §3.5), which by the pruning
+// contract touch no data this worker ever synchronizes on.
+func (s *submitter) SubmitTask(t *stf.Task, k stf.Kernel) stf.TaskID {
+	if t.ID < s.next {
+		s.fail(fmt.Errorf("core: task ID %d submitted after ID %d (task flow must be replayed in order)", t.ID, s.next-1))
+		return t.ID
+	}
+	s.submitRecorded(t, k)
+	return t.ID
+}
+
+func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
+	if s.err != nil {
+		return
+	}
+	id := t.ID
+	s.next = id + 1
+	execute, ok := s.owns(id)
+	if !ok {
+		return
+	}
+	if execute {
+		s.acquire(t.Accesses)
+		if s.err != nil {
+			return // aborted while waiting
+		}
+		s.execLocked(t.Accesses, int64(id), func() { k(t, s.worker) })
+		s.ws.Executed++
+	} else {
+		s.declare(t.Accesses, int64(id))
+		s.ws.Declared++
+	}
+}
+
+// execLocked runs a task body between its reduction locks and publishes
+// completion. The unlock is deferred so a panicking body cannot leave the
+// per-data mutexes held; completion is *not* published on panic — the run
+// is aborting and waiters bail out via the abort flag instead.
+func (s *submitter) execLocked(accesses []stf.Access, id int64, run func()) {
+	if s.lockReductions(accesses) {
+		defer s.unlockReductions(accesses)
+	}
+	if s.eng.noAcct {
+		run()
+	} else {
+		t0 := time.Now()
+		run()
+		s.ws.Task += time.Since(t0)
+	}
+	s.release(accesses, id)
+}
+
+func (s *submitter) submit(id stf.TaskID, accesses []stf.Access, run func()) {
+	if s.err != nil {
+		return
+	}
+	s.next = id + 1
+	execute, ok := s.owns(id)
+	if !ok {
+		return
+	}
+	if execute {
+		s.acquire(accesses)
+		if s.err != nil {
+			return // aborted while waiting
+		}
+		s.execLocked(accesses, int64(id), run)
+		s.ws.Executed++
+	} else {
+		s.declare(accesses, int64(id))
+		s.ws.Declared++
+	}
+}
+
+func (s *submitter) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// acquire implements the get_read / get_write / get_red calls of
+// Algorithm 1: block until every dependency registered locally has
+// executed. Each composite condition is waited for piecewise; every piece
+// is stable once true, because any task that could perturb it was
+// registered after the current one and therefore transitively waits on it.
+func (s *submitter) acquire(accesses []stf.Access) {
+	for _, a := range accesses {
+		sh := &s.shared[a.Data]
+		lo := &s.local[a.Data]
+		switch {
+		case a.Mode.Writes():
+			// get_write: previous writes, then reads, then reductions.
+			if !lo.writeReady(sh) {
+				s.wait(func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+				s.wait(func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
+				s.wait(func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
+			}
+		case a.Mode.Commutes():
+			// get_red: previous writes, reads, and earlier-run
+			// reductions; members of the own run commute.
+			if !lo.redReady(sh) {
+				s.wait(func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+				s.wait(func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
+				s.wait(func() bool { return sh.nbRedsSinceWrite.Load() >= lo.nbRedsBeforeRun })
+			}
+		default:
+			// get_read: previous writes and reductions.
+			if !lo.readReady(sh) {
+				s.wait(func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+				s.wait(func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
+			}
+		}
+	}
+}
+
+// lockReductions takes the per-data reduction mutexes of the task's
+// commutative accesses, in ascending data order so that concurrent
+// multi-reduction tasks cannot deadlock. It returns whether any lock was
+// taken.
+func (s *submitter) lockReductions(accesses []stf.Access) bool {
+	locked := false
+	last := stf.DataID(-1)
+	for {
+		next := stf.DataID(-1)
+		for _, a := range accesses {
+			if a.Mode.Commutes() && a.Data > last && (next == -1 || a.Data < next) {
+				next = a.Data
+			}
+		}
+		if next == -1 {
+			return locked
+		}
+		s.shared[next].redMu.Lock()
+		locked = true
+		last = next
+	}
+}
+
+func (s *submitter) unlockReductions(accesses []stf.Access) {
+	for _, a := range accesses {
+		if a.Mode.Commutes() {
+			s.shared[a.Data].redMu.Unlock()
+		}
+	}
+}
+
+// release implements the terminate_read / terminate_write / terminate_red
+// calls.
+func (s *submitter) release(accesses []stf.Access, id int64) {
+	for _, a := range accesses {
+		sh := &s.shared[a.Data]
+		lo := &s.local[a.Data]
+		switch {
+		case a.Mode.Writes():
+			lo.terminateWrite(sh, id)
+		case a.Mode.Commutes():
+			lo.terminateRed(sh)
+		default:
+			lo.terminateRead(sh)
+		}
+	}
+}
+
+// declare implements the declare_read / declare_write / declare_red calls
+// for tasks owned by other workers: private-memory bookkeeping only.
+func (s *submitter) declare(accesses []stf.Access, id int64) {
+	for _, a := range accesses {
+		lo := &s.local[a.Data]
+		switch {
+		case a.Mode.Writes():
+			lo.declareWrite(id)
+		case a.Mode.Commutes():
+			lo.declareRed()
+		default:
+			lo.declareRead()
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"testing"
+
+	"rio/internal/core"
+	"rio/internal/enginetest"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// FuzzSequentialConsistency throws arbitrary byte-derived task flows,
+// mappings and worker counts at the decentralized engine and requires the
+// sequential-reference oracle to hold. This complements the testing/quick
+// properties with corpus-guided exploration (go test -fuzz).
+func FuzzSequentialConsistency(f *testing.F) {
+	f.Add([]byte{2, 1, 0, 0, 3, 1, 1, 1, 4, 2, 2, 0}, uint8(2))
+	f.Add([]byte{0, 0, 1, 0, 5, 3, 1, 2, 0, 4, 2, 3}, uint8(3))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, pRaw uint8) {
+		p := 1 + int(pRaw%4)
+		g := fuzzGraph(data)
+		if len(g.Tasks) == 0 {
+			return
+		}
+		// Owner table derived from the same bytes, including shared
+		// (dynamically claimed) tasks.
+		owners := make([]stf.WorkerID, len(g.Tasks))
+		for i := range owners {
+			b := byte(i)
+			if i < len(data) {
+				b = data[i]
+			}
+			if b%5 == 4 {
+				owners[i] = stf.SharedWorker
+			} else {
+				owners[i] = stf.WorkerID(int(b) % p)
+			}
+		}
+		e, err := core.New(core.Options{Workers: p, Mapping: sched.Table(owners)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enginetest.Check(e, g); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// fuzzGraph decodes bytes into a small valid task flow (3 bytes per
+// access, same scheme as the stf fuzzer).
+func fuzzGraph(data []byte) *stf.Graph {
+	const maxData = 5
+	g := stf.NewGraph("fuzz", maxData)
+	var accesses []stf.Access
+	seen := map[stf.DataID]bool{}
+	flush := func() {
+		g.Add(0, len(g.Tasks), 0, 0, accesses...)
+		accesses = nil
+		seen = map[stf.DataID]bool{}
+	}
+	for i := 0; i+2 < len(data) && len(g.Tasks) < 20; i += 3 {
+		if data[i]%2 == 0 && (len(accesses) > 0 || data[i]%4 == 0) {
+			flush()
+		}
+		d := stf.DataID(data[i+1] % maxData)
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		mode := []stf.AccessMode{stf.ReadOnly, stf.WriteOnly, stf.ReadWrite, stf.Reduction}[data[i+2]%4]
+		accesses = append(accesses, stf.Access{Data: d, Mode: mode})
+	}
+	if len(accesses) > 0 {
+		flush()
+	}
+	return g
+}

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rio/internal/core"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// A task panic must fail the run with a descriptive error instead of
+// deadlocking the workers blocked on the panicked task's data.
+func TestPanicAbortsRunWithoutDeadlock(t *testing.T) {
+	e := newEngine(t, core.Options{Workers: 3, Mapping: sched.Cyclic(3)})
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Run(1, func(s stf.Submitter) {
+			s.Submit(func() { panic("boom") }, stf.W(0)) // worker 0
+			s.Submit(func() {}, stf.R(0))                // worker 1 waits on data 0
+			s.Submit(func() {}, stf.RW(0))               // worker 2 waits on data 0
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panicking run returned nil error")
+		}
+		if !strings.Contains(err.Error(), "panic") {
+			t.Errorf("error does not mention the panic: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run deadlocked after task panic")
+	}
+}
+
+func TestPanicWithReductionLockHeldDoesNotWedge(t *testing.T) {
+	e := newEngine(t, core.Options{Workers: 2, Mapping: sched.Cyclic(2)})
+	done := make(chan error, 1)
+	go func() {
+		done <- e.Run(1, func(s stf.Submitter) {
+			s.Submit(func() { panic("red boom") }, stf.Red(0))
+			s.Submit(func() {}, stf.Red(0))
+			s.Submit(func() {}, stf.R(0))
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panicking reduction returned nil error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run wedged on the reduction mutex after a panic")
+	}
+}
+
+func TestRunAfterPanicStillWorks(t *testing.T) {
+	// The engine is reusable after a failed run.
+	e := newEngine(t, core.Options{Workers: 2, Mapping: sched.Cyclic(2)})
+	if err := e.Run(1, func(s stf.Submitter) {
+		s.Submit(func() { panic("x") }, stf.W(0))
+	}); err == nil {
+		t.Fatal("no error from panicking run")
+	}
+	ok := false
+	if err := e.Run(1, func(s stf.Submitter) {
+		s.Submit(func() { ok = true }, stf.W(0))
+	}); err != nil {
+		t.Fatalf("engine unusable after failed run: %v", err)
+	}
+	if !ok {
+		t.Error("second run did not execute")
+	}
+}

@@ -1,0 +1,162 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rio/internal/core"
+	"rio/internal/enginetest"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// reductionGraph: w writes, then n reductions, then a read, then n more
+// reductions, then a final write and read — exercising run splitting.
+func reductionGraph(n int) *stf.Graph {
+	g := stf.NewGraph("reductions", 2)
+	g.Add(0, 0, 0, 0, stf.W(0))
+	for i := 0; i < n; i++ {
+		g.Add(0, i, 0, 0, stf.Red(0))
+	}
+	g.Add(0, 0, 0, 0, stf.R(0), stf.W(1))
+	for i := 0; i < n; i++ {
+		g.Add(0, i, 0, 0, stf.Red(0))
+	}
+	g.Add(0, 0, 0, 0, stf.W(0))
+	g.Add(0, 0, 0, 0, stf.R(0), stf.RW(1))
+	return g
+}
+
+func TestReductionsMatchSequential(t *testing.T) {
+	g := reductionGraph(64)
+	for _, p := range []int{1, 2, 4} {
+		e := newEngine(t, core.Options{Workers: p, Mapping: sched.Cyclic(p)})
+		if err := enginetest.Check(e, g); err != nil {
+			t.Errorf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// A pure sum reduction: many tasks adding into one accumulator, read at
+// the end. The final value is exact regardless of execution order; the
+// engine must serialize the (non-atomic) additions.
+func TestReductionSumExact(t *testing.T) {
+	const n = 500
+	const p = 4
+	var sum int64
+	var final int64
+	e := newEngine(t, core.Options{Workers: p, Mapping: sched.Cyclic(p)})
+	err := e.Run(1, func(s stf.Submitter) {
+		for i := 1; i <= n; i++ {
+			v := int64(i)
+			s.Submit(func() { sum += v }, stf.Red(0))
+		}
+		s.Submit(func() { final = sum }, stf.R(0))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n * (n + 1) / 2); final != want {
+		t.Errorf("sum = %d, want %d (lost updates: reductions not serialized?)", final, want)
+	}
+}
+
+// Interleaved reads pin the intermediate values: with reads splitting the
+// runs, every prefix sum is deterministic.
+func TestReductionPrefixSumsDeterministic(t *testing.T) {
+	const p = 3
+	var acc int64
+	var snaps []int64
+	e := newEngine(t, core.Options{Workers: p, Mapping: sched.Cyclic(p)})
+	err := e.Run(1, func(s stf.Submitter) {
+		for block := 0; block < 10; block++ {
+			for i := 0; i < 7; i++ {
+				s.Submit(func() { acc++ }, stf.Red(0))
+			}
+			s.Submit(func() { snaps = append(snaps, acc) }, stf.RW(0))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 10 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	for i, v := range snaps {
+		if want := int64(7 * (i + 1)); v != want {
+			t.Errorf("snapshot %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// Tasks reducing into two accumulators at once must not deadlock (locks
+// are taken in data order) and must stay exact.
+func TestMultiReductionNoDeadlock(t *testing.T) {
+	const n = 200
+	const p = 4
+	var a, b int64
+	var finalA, finalB int64
+	e := newEngine(t, core.Options{Workers: p, Mapping: sched.Cyclic(p)})
+	err := e.Run(2, func(s stf.Submitter) {
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				s.Submit(func() { a++; b++ }, stf.Red(0), stf.Red(1))
+			} else {
+				s.Submit(func() { b++; a++ }, stf.Red(1), stf.Red(0))
+			}
+		}
+		s.Submit(func() { finalA, finalB = a, b }, stf.R(0), stf.R(1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalA != n || finalB != n {
+		t.Errorf("a=%d b=%d, want %d each", finalA, finalB, n)
+	}
+}
+
+func TestPropertyReductionGraphsSequentialConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := enginetest.RandomGraphWithReductions(rng, 50, 8)
+		p := 1 + rng.Intn(4)
+		owners := make([]stf.WorkerID, len(g.Tasks))
+		for i := range owners {
+			owners[i] = stf.WorkerID(rng.Intn(p))
+		}
+		e, err := core.New(core.Options{Workers: p, Mapping: sched.Table(owners)})
+		if err != nil {
+			return false
+		}
+		return enginetest.Check(e, g) == nil
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrunedReductionEquivalence(t *testing.T) {
+	g := reductionGraph(32)
+	p := 3
+	m := sched.Cyclic(p)
+	want, err := enginetest.Golden(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := sched.Relevant(g, m, p)
+	e := newEngine(t, core.Options{Workers: p, Mapping: m})
+	got, err := enginetest.RunProgram(e, g, func(k stf.Kernel) stf.Program {
+		return sched.PrunedReplay(g, k, rel)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.Compare(g, want, got); err != nil {
+		t.Error(err)
+	}
+}

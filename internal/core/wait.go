@@ -1,0 +1,59 @@
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// wait blocks until cond() holds, accounting the elapsed time as idle time
+// (τ_{p,i}) when accounting is enabled.
+//
+// The wait escalates in three phases, trading latency for CPU use:
+//
+//  1. busy-poll for SpinLimit iterations — a dependency produced by a
+//     worker running on another core typically resolves within nanoseconds;
+//  2. poll with runtime.Gosched() — lets the producing goroutine run when
+//     goroutines are multiplexed on fewer hardware threads;
+//  3. poll with exponentially growing sleeps capped at maxSleep — bounds
+//     CPU waste on long waits without risking livelock.
+//
+// cond must read shared state with atomic loads; it is called repeatedly.
+func (s *submitter) wait(cond func() bool) {
+	if cond() {
+		return
+	}
+	var t0 time.Time
+	if !s.eng.noAcct {
+		t0 = time.Now()
+	}
+	spin := 0
+	const yieldPhase = 1024
+	const maxSleep = 100 * time.Microsecond
+	sleep := time.Microsecond
+	for !cond() {
+		spin++
+		switch {
+		case spin < s.eng.spinLimit:
+			// busy poll
+		case spin < s.eng.spinLimit+yieldPhase:
+			runtime.Gosched()
+		default:
+			// A dependency held by a panicked worker will never
+			// resolve; bail out once the run is aborting.
+			if s.aborted.Load() {
+				s.fail(errAborted)
+				break
+			}
+			time.Sleep(sleep)
+			if sleep < maxSleep {
+				sleep *= 2
+			}
+		}
+		if s.err != nil {
+			break
+		}
+	}
+	if !s.eng.noAcct {
+		s.ws.Idle += time.Since(t0)
+	}
+}

@@ -1,0 +1,138 @@
+package enginetest_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"rio/internal/enginetest"
+	"rio/internal/graphs"
+	"rio/internal/stf"
+)
+
+// The oracle is what the whole engine test suite rests on; these negative
+// controls verify it actually detects broken execution models.
+
+// shuffledEngine executes the submitted tasks in a dependency-violating
+// order: it collects everything, then runs tasks in reverse.
+type shuffledEngine struct{}
+
+func (shuffledEngine) Run(numData int, prog stf.Program) error {
+	rec := &collector{}
+	prog(rec)
+	for i := len(rec.run) - 1; i >= 0; i-- {
+		rec.run[i]()
+	}
+	return nil
+}
+
+// dropEngine silently drops every third task.
+type dropEngine struct{}
+
+func (dropEngine) Run(numData int, prog stf.Program) error {
+	rec := &collector{}
+	prog(rec)
+	for i, f := range rec.run {
+		if i%3 != 2 {
+			f()
+		}
+	}
+	return nil
+}
+
+// doubleEngine runs every task twice.
+type doubleEngine struct{}
+
+func (doubleEngine) Run(numData int, prog stf.Program) error {
+	rec := &collector{}
+	prog(rec)
+	for _, f := range rec.run {
+		f()
+		f()
+	}
+	return nil
+}
+
+type collector struct {
+	run []func()
+}
+
+func (c *collector) Submit(fn stf.TaskFunc, _ ...stf.Access) stf.TaskID {
+	c.run = append(c.run, func() { fn() })
+	return stf.TaskID(len(c.run) - 1)
+}
+
+func (c *collector) SubmitTask(t *stf.Task, k stf.Kernel) stf.TaskID {
+	c.run = append(c.run, func() { k(t, 0) })
+	return t.ID
+}
+
+func (c *collector) Worker() stf.WorkerID { return stf.MasterWorker }
+func (c *collector) NumWorkers() int      { return 1 }
+
+func TestOracleCatchesReordering(t *testing.T) {
+	g := graphs.LU(4) // dependency-rich
+	if err := enginetest.Check(shuffledEngine{}, g); err == nil {
+		t.Error("reverse-order execution passed the oracle")
+	}
+}
+
+func TestOracleCatchesDroppedTasks(t *testing.T) {
+	g := graphs.Independent(30)
+	if err := enginetest.Check(dropEngine{}, g); err == nil {
+		t.Error("dropped tasks passed the oracle")
+	}
+}
+
+func TestOracleCatchesDoubleExecution(t *testing.T) {
+	g := graphs.RandomDeps(60, 8, 1, 1, 2)
+	if err := enginetest.Check(doubleEngine{}, g); err == nil {
+		t.Error("double execution passed the oracle")
+	}
+}
+
+func TestOracleAcceptsValidPermutation(t *testing.T) {
+	// Reversing an *independent* flow is a legal OoO execution: the value
+	// oracle must accept it (tickets order is irrelevant without deps).
+	g := graphs.Independent(30)
+	if err := enginetest.Check(shuffledEngine{}, g); err != nil {
+		t.Errorf("legal reordering rejected: %v", err)
+	}
+}
+
+func TestRandomGraphGeneratorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		g := enginetest.RandomGraph(rng, 30, 6)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for j := range g.Tasks {
+			for _, a := range g.Tasks[j].Accesses {
+				if a.Mode == stf.Reduction {
+					t.Fatal("RandomGraph produced a reduction (reserved for RandomGraphWithReductions)")
+				}
+			}
+		}
+		gr := enginetest.RandomGraphWithReductions(rng, 30, 6)
+		if err := gr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGoldenDeterministic(t *testing.T) {
+	g := graphs.RandomDeps(100, 16, 2, 1, 5)
+	a, err := enginetest.Golden(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enginetest.Golden(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range a.Vals {
+		if a.Vals[d] != b.Vals[d] {
+			t.Fatalf("golden not deterministic at data %d", d)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package enginetest
+
+import (
+	"math/rand"
+
+	"rio/internal/stf"
+)
+
+// RandomGraph generates a random STF task flow for property-based tests:
+// up to maxTasks tasks over up to maxData data objects, each task accessing
+// up to 4 distinct data objects in random modes. The generator is
+// deterministic in rng.
+func RandomGraph(rng *rand.Rand, maxTasks, maxData int) *stf.Graph {
+	nTasks := 1 + rng.Intn(maxTasks)
+	nData := 1 + rng.Intn(maxData)
+	g := stf.NewGraph("random-property", nData)
+	modes := []stf.AccessMode{stf.ReadOnly, stf.WriteOnly, stf.ReadWrite}
+	for i := 0; i < nTasks; i++ {
+		na := rng.Intn(5)
+		if na > nData {
+			na = nData
+		}
+		perm := rng.Perm(nData)
+		accesses := make([]stf.Access, 0, na)
+		for _, d := range perm[:na] {
+			accesses = append(accesses, stf.Access{
+				Data: stf.DataID(d),
+				Mode: modes[rng.Intn(len(modes))],
+			})
+		}
+		g.Add(KOracle, i, 0, 0, accesses...)
+	}
+	return g
+}
+
+// KOracle is the kernel selector used by randomly generated oracle tasks.
+const KOracle = 999
+
+// RandomGraphWithReductions is RandomGraph with Reduction accesses mixed
+// in. It is used by engine property tests; the model checker does not
+// accept reductions, so spec tests use RandomGraph instead.
+func RandomGraphWithReductions(rng *rand.Rand, maxTasks, maxData int) *stf.Graph {
+	nTasks := 1 + rng.Intn(maxTasks)
+	nData := 1 + rng.Intn(maxData)
+	g := stf.NewGraph("random-reductions", nData)
+	modes := []stf.AccessMode{stf.ReadOnly, stf.WriteOnly, stf.ReadWrite, stf.Reduction, stf.Reduction}
+	for i := 0; i < nTasks; i++ {
+		na := rng.Intn(4)
+		if na > nData {
+			na = nData
+		}
+		perm := rng.Perm(nData)
+		accesses := make([]stf.Access, 0, na)
+		for _, d := range perm[:na] {
+			accesses = append(accesses, stf.Access{
+				Data: stf.DataID(d),
+				Mode: modes[rng.Intn(len(modes))],
+			})
+		}
+		g.Add(KOracle, i, 0, 0, accesses...)
+	}
+	return g
+}

@@ -1,0 +1,105 @@
+package graphs
+
+import (
+	"fmt"
+	"sync"
+
+	"rio/internal/kernels"
+	"rio/internal/stf"
+)
+
+// CounterKernel returns the kernel used by the paper's evaluation: every
+// task spins a per-worker private counter for size iterations, regardless
+// of the task graph shape (§5.1 — "the four experiments correspond to the
+// actual task graphs of the considered test cases but the tasks themselves
+// are synthetically generated"). cells must have one cell per worker that
+// can execute tasks; stf.MasterWorker uses cell 0 (sequential engine).
+func CounterKernel(cells *kernels.Cells, size uint64) stf.Kernel {
+	return func(t *stf.Task, w stf.WorkerID) {
+		idx := int(w)
+		if idx < 0 {
+			idx = 0
+		}
+		kernels.Spin(cells.Cell(idx), size)
+	}
+}
+
+// ErrSink collects the first error reported by a numeric kernel (kernels
+// run as tasks and cannot return errors through the Submitter).
+type ErrSink struct {
+	once sync.Once
+	err  error
+}
+
+// Report records err if it is the first one.
+func (e *ErrSink) Report(err error) {
+	if err != nil {
+		e.once.Do(func() { e.err = err })
+	}
+}
+
+// Err returns the first recorded error, if any.
+func (e *ErrSink) Err() error { return e.err }
+
+// GEMMKernel binds the Experiment 3 graph to real tile products computing
+// C += A·B on tiled matrices.
+func GEMMKernel(a, b, c *kernels.Tiled) stf.Kernel {
+	return func(t *stf.Task, _ stf.WorkerID) {
+		kernels.GemmTile(c.Tile(t.I, t.J), a.Tile(t.I, t.K), b.Tile(t.K, t.J), c.B)
+	}
+}
+
+// LUKernel binds the Experiment 4 graph to real tile kernels factoring m in
+// place (LU without pivoting). Zero pivots are reported to sink.
+func LUKernel(m *kernels.Tiled, sink *ErrSink) stf.Kernel {
+	return func(t *stf.Task, _ stf.WorkerID) {
+		switch t.Kernel {
+		case KGetrf:
+			sink.Report(kernels.Getrf(m.Tile(t.I, t.J), m.B))
+		case KTrsmRow:
+			kernels.TrsmLowerLeft(m.Tile(t.K, t.K), m.Tile(t.I, t.J), m.B)
+		case KTrsmCol:
+			kernels.TrsmUpperRight(m.Tile(t.K, t.K), m.Tile(t.I, t.J), m.B)
+		case KGemmUpd:
+			kernels.GemmSubTile(m.Tile(t.I, t.J), m.Tile(t.I, t.K), m.Tile(t.K, t.J), m.B)
+		default:
+			sink.Report(fmt.Errorf("graphs: unexpected kernel %d in LU flow", t.Kernel))
+		}
+	}
+}
+
+// CholeskyKernel binds the Cholesky graph to real tile kernels factoring m
+// (SPD, lower storage) in place. Non-SPD pivots are reported to sink.
+func CholeskyKernel(m *kernels.Tiled, sink *ErrSink) stf.Kernel {
+	return func(t *stf.Task, _ stf.WorkerID) {
+		switch t.Kernel {
+		case KPotrf:
+			sink.Report(kernels.Potrf(m.Tile(t.I, t.J), m.B))
+		case KTrsmChol:
+			kernels.TrsmRightLowerT(m.Tile(t.K, t.K), m.Tile(t.I, t.J), m.B)
+		case KSyrk:
+			kernels.SyrkLower(m.Tile(t.I, t.J), m.Tile(t.I, t.K), m.B)
+		case KGemmChol:
+			kernels.GemmSubTileNT(m.Tile(t.I, t.J), m.Tile(t.I, t.K), m.Tile(t.J, t.K), m.B)
+		default:
+			sink.Report(fmt.Errorf("graphs: unexpected kernel %d in Cholesky flow", t.Kernel))
+		}
+	}
+}
+
+// WavefrontKernel binds the wavefront graph to a smoothing update over a
+// rows×cols value grid: each cell becomes itself plus half the sum of its
+// north and west neighbours.
+func WavefrontKernel(vals []float64, cols int) stf.Kernel {
+	return func(t *stf.Task, _ stf.WorkerID) {
+		i, j := t.I, t.J
+		v := vals[i*cols+j]
+		if i > 0 {
+			v += 0.5 * vals[(i-1)*cols+j]
+		}
+		if j > 0 {
+			v += 0.5 * vals[i*cols+j-1]
+		}
+		vals[i*cols+j] = v
+	}
+}

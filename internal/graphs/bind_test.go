@@ -1,0 +1,135 @@
+package graphs_test
+
+import (
+	"errors"
+	"testing"
+
+	"rio/internal/graphs"
+	"rio/internal/kernels"
+	"rio/internal/sequential"
+	"rio/internal/stf"
+)
+
+func runSeq(t *testing.T, g *stf.Graph, k stf.Kernel) {
+	t.Helper()
+	e := sequential.New(sequential.Options{})
+	if err := e.Run(g.NumData, stf.Replay(g, k)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterKernelUsesWorkerCell(t *testing.T) {
+	cells := kernels.NewCells(2)
+	k := graphs.CounterKernel(cells, 100)
+	task := stf.Task{}
+	k(&task, 1)
+	if *cells.Cell(1) != 99 {
+		t.Errorf("cell 1 = %d, want 99", *cells.Cell(1))
+	}
+	// Negative workers (sequential master) fall back to cell 0.
+	k(&task, stf.MasterWorker)
+	if *cells.Cell(0) != 99 {
+		t.Errorf("cell 0 = %d, want 99", *cells.Cell(0))
+	}
+}
+
+func TestGEMMKernelComputesProduct(t *testing.T) {
+	const nt, b = 3, 4
+	n := nt * b
+	a, _ := kernels.NewTiled(n, b)
+	bm, _ := kernels.NewTiled(n, b)
+	c, _ := kernels.NewTiled(n, b)
+	kernels.DiagDominant(a, 1)
+	kernels.DiagDominant(bm, 2)
+	want := make([]float64, n*n)
+	kernels.MatMulDense(want, a.ToDense(), bm.ToDense(), n)
+
+	g := graphs.GEMM(nt)
+	runSeq(t, g, graphs.GEMMKernel(a, bm, c))
+	if d := kernels.MaxAbsDiff(c.ToDense(), want); d > 1e-10 {
+		t.Errorf("GEMM kernel binding wrong by %v", d)
+	}
+}
+
+func TestLUKernelFactors(t *testing.T) {
+	const nt, b = 3, 4
+	m, _ := kernels.NewTiled(nt*b, b)
+	kernels.DiagDominant(m, 3)
+	orig := m.ToDense()
+	var sink graphs.ErrSink
+	runSeq(t, graphs.LU(nt), graphs.LUKernel(m, &sink))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if d := kernels.MaxAbsDiff(kernels.LUReconstruct(m), orig); d > 1e-9 {
+		t.Errorf("LU kernel binding wrong by %v", d)
+	}
+}
+
+func TestLUKernelReportsUnknownKernel(t *testing.T) {
+	m, _ := kernels.NewTiled(4, 4)
+	var sink graphs.ErrSink
+	k := graphs.LUKernel(m, &sink)
+	k(&stf.Task{Kernel: 999}, 0)
+	if sink.Err() == nil {
+		t.Error("unknown kernel not reported")
+	}
+}
+
+func TestCholeskyKernelFactors(t *testing.T) {
+	const nt, b = 3, 4
+	m, _ := kernels.NewTiled(nt*b, b)
+	kernels.SPDMatrix(m, 4)
+	orig := m.ToDense()
+	var sink graphs.ErrSink
+	runSeq(t, graphs.Cholesky(nt), graphs.CholeskyKernel(m, &sink))
+	if sink.Err() != nil {
+		t.Fatal(sink.Err())
+	}
+	if d := kernels.MaxAbsDiff(kernels.CholReconstruct(m), orig); d > 1e-9 {
+		t.Errorf("Cholesky kernel binding wrong by %v", d)
+	}
+}
+
+func TestCholeskyKernelReportsUnknownKernel(t *testing.T) {
+	m, _ := kernels.NewTiled(4, 4)
+	var sink graphs.ErrSink
+	graphs.CholeskyKernel(m, &sink)(&stf.Task{Kernel: 999}, 0)
+	if sink.Err() == nil {
+		t.Error("unknown kernel not reported")
+	}
+}
+
+func TestWavefrontKernelSmooths(t *testing.T) {
+	const rows, cols = 3, 3
+	vals := make([]float64, rows*cols)
+	for i := range vals {
+		vals[i] = 1
+	}
+	runSeq(t, graphs.Wavefront(rows, cols), graphs.WavefrontKernel(vals, cols))
+	// Corner (0,0) unchanged; (0,1) = 1 + 0.5·(0,0) = 1.5; (1,1) gets
+	// both neighbours: 1 + 0.5·1.5 + 0.5·1.5 = 2.5.
+	if vals[0] != 1 {
+		t.Errorf("corner = %v", vals[0])
+	}
+	if vals[1] != 1.5 {
+		t.Errorf("(0,1) = %v, want 1.5", vals[1])
+	}
+	if vals[cols+1] != 2.5 {
+		t.Errorf("(1,1) = %v, want 2.5", vals[cols+1])
+	}
+}
+
+func TestErrSinkKeepsFirstError(t *testing.T) {
+	var s graphs.ErrSink
+	s.Report(nil)
+	if s.Err() != nil {
+		t.Error("nil error recorded")
+	}
+	first := errors.New("first")
+	s.Report(first)
+	s.Report(errors.New("second"))
+	if s.Err() != first {
+		t.Errorf("Err() = %v, want the first error", s.Err())
+	}
+}

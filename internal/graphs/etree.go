@@ -1,0 +1,153 @@
+package graphs
+
+import (
+	"math/rand"
+
+	"rio/internal/stf"
+)
+
+// Elimination-tree workloads: the task flow of a multifrontal sparse
+// Cholesky factorization is a tree — each supernode is factored after all
+// its children have contributed their updates. The paper cites the
+// proportional-mapping literature (George/Liu/Ng; Pothen/Sun) as the
+// standard way to map such trees statically; sched.Proportional implements
+// it and this file provides the matching workloads.
+
+// ETree is an elimination tree: node i's parent is Parent[i] (-1 for
+// roots); Weight[i] models the node's factorization work (e.g. supernode
+// size cubed). Children are implicitly ordered by node index.
+type ETree struct {
+	Parent []int
+	Weight []int
+}
+
+// Nodes returns the number of tree nodes.
+func (t *ETree) Nodes() int { return len(t.Parent) }
+
+// Children returns the children lists of every node.
+func (t *ETree) Children() [][]int {
+	ch := make([][]int, len(t.Parent))
+	for i, p := range t.Parent {
+		if p >= 0 {
+			ch[p] = append(ch[p], i)
+		}
+	}
+	return ch
+}
+
+// SubtreeWeights returns, for each node, the total weight of its subtree.
+// Parents must have larger indices than their children (postorder), which
+// all generators here guarantee.
+func (t *ETree) SubtreeWeights() []int64 {
+	w := make([]int64, len(t.Parent))
+	for i := range t.Parent {
+		w[i] += int64(t.Weight[i])
+		if p := t.Parent[i]; p >= 0 {
+			w[p] += w[i]
+		}
+	}
+	return w
+}
+
+// BalancedETree builds a complete binary elimination tree with the given
+// number of leaves (rounded up to a power of two) and unit weights that
+// grow towards the root (as supernodes do in practice): weight = depth+1
+// counted from the leaves.
+func BalancedETree(leaves int) *ETree {
+	if leaves < 1 {
+		leaves = 1
+	}
+	n := 1
+	for n < leaves {
+		n *= 2
+	}
+	// Postorder construction level by level.
+	var parent []int
+	var weight []int
+	// level 0: n leaves at indices 0..n-1.
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+		parent = append(parent, -1)
+		weight = append(weight, 1)
+	}
+	depth := 1
+	for len(cur) > 1 {
+		var next []int
+		for i := 0; i < len(cur); i += 2 {
+			id := len(parent)
+			parent = append(parent, -1)
+			weight = append(weight, depth+1)
+			parent[cur[i]] = id
+			parent[cur[i+1]] = id
+			next = append(next, id)
+		}
+		cur = next
+		depth++
+	}
+	return &ETree{Parent: parent, Weight: weight}
+}
+
+// RandomETree builds a random postordered elimination tree of n nodes with
+// weights in [1, maxWeight]; each node's parent is a random later node
+// (skewed towards nearby indices, giving realistic chains and bushy
+// sections).
+func RandomETree(n int, maxWeight int, seed int64) *ETree {
+	if n < 1 {
+		n = 1
+	}
+	if maxWeight < 1 {
+		maxWeight = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &ETree{Parent: make([]int, n), Weight: make([]int, n)}
+	for i := 0; i < n; i++ {
+		t.Weight[i] = 1 + rng.Intn(maxWeight)
+		if i == n-1 {
+			t.Parent[i] = -1
+			continue
+		}
+		span := n - 1 - i
+		if span > 8 && rng.Intn(2) == 0 {
+			span = 8 // bias towards nearby parents
+		}
+		t.Parent[i] = i + 1 + rng.Intn(span)
+	}
+	return t
+}
+
+// ChainETree builds a degenerate tree (one long chain) — the worst case
+// for any mapping, fully sequential.
+func ChainETree(n int) *ETree {
+	if n < 1 {
+		n = 1
+	}
+	t := &ETree{Parent: make([]int, n), Weight: make([]int, n)}
+	for i := 0; i < n; i++ {
+		t.Weight[i] = 1
+		t.Parent[i] = i + 1
+	}
+	t.Parent[n-1] = -1
+	return t
+}
+
+// SparseCholesky returns the task flow of a multifrontal factorization
+// over t: one task per node, reading each child's frontal data and
+// updating its own; submission follows the postorder (children first), the
+// natural sparse-solver submission order. Task i's kernel weight is
+// carried in Task.K so synthetic kernels can scale work per node.
+// Data IDs: one per node.
+func SparseCholesky(t *ETree) *stf.Graph {
+	n := t.Nodes()
+	g := stf.NewGraph("sparse-cholesky", n)
+	ch := t.Children()
+	for i := 0; i < n; i++ {
+		accesses := make([]stf.Access, 0, len(ch[i])+1)
+		for _, c := range ch[i] {
+			accesses = append(accesses, stf.R(stf.DataID(c)))
+		}
+		accesses = append(accesses, stf.RW(stf.DataID(i)))
+		g.Add(KCounter, i, 0, t.Weight[i], accesses...)
+	}
+	return g
+}

@@ -1,0 +1,136 @@
+package graphs_test
+
+import (
+	"testing"
+
+	"rio/internal/graphs"
+	"rio/internal/stf"
+)
+
+func TestBalancedETreeShape(t *testing.T) {
+	tree := graphs.BalancedETree(8)
+	if tree.Nodes() != 15 {
+		t.Fatalf("nodes = %d, want 15", tree.Nodes())
+	}
+	roots := 0
+	for _, p := range tree.Parent {
+		if p < 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Errorf("roots = %d", roots)
+	}
+	// Root weight is depth+1 = 4 for 8 leaves.
+	if tree.Weight[tree.Nodes()-1] != 4 {
+		t.Errorf("root weight = %d, want 4", tree.Weight[tree.Nodes()-1])
+	}
+	// Postorder: every parent index exceeds its children's.
+	for i, p := range tree.Parent {
+		if p >= 0 && p <= i {
+			t.Fatalf("node %d has non-postorder parent %d", i, p)
+		}
+	}
+	sub := tree.SubtreeWeights()
+	if sub[tree.Nodes()-1] <= sub[0] {
+		t.Error("root subtree weight not maximal")
+	}
+}
+
+func TestRandomETreePostorderAndDeterminism(t *testing.T) {
+	a := graphs.RandomETree(50, 5, 9)
+	b := graphs.RandomETree(50, 5, 9)
+	for i := range a.Parent {
+		if a.Parent[i] != b.Parent[i] || a.Weight[i] != b.Weight[i] {
+			t.Fatal("same seed produced different trees")
+		}
+		if a.Parent[i] >= 0 && a.Parent[i] <= i {
+			t.Fatalf("node %d parent %d violates postorder", i, a.Parent[i])
+		}
+		if a.Weight[i] < 1 || a.Weight[i] > 5 {
+			t.Fatalf("weight out of range: %d", a.Weight[i])
+		}
+	}
+	if a.Parent[a.Nodes()-1] != -1 {
+		t.Error("last node is not the root")
+	}
+}
+
+func TestChainETreeShape(t *testing.T) {
+	tree := graphs.ChainETree(6)
+	ch := tree.Children()
+	for i := 1; i < 6; i++ {
+		if len(ch[i]) != 1 || ch[i][0] != i-1 {
+			t.Fatalf("chain children of %d: %v", i, ch[i])
+		}
+	}
+	g := graphs.SparseCholesky(tree)
+	_, depth := g.Levels()
+	if depth != 6 {
+		t.Errorf("chain flow depth = %d, want 6", depth)
+	}
+}
+
+func TestSparseCholeskyValid(t *testing.T) {
+	for _, tree := range []*graphs.ETree{
+		graphs.BalancedETree(1),
+		graphs.BalancedETree(16),
+		graphs.RandomETree(40, 3, 2),
+		graphs.ChainETree(1),
+	} {
+		g := graphs.SparseCholesky(tree)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Tasks) != tree.Nodes() {
+			t.Fatalf("tasks = %d, nodes = %d", len(g.Tasks), tree.Nodes())
+		}
+		// Each task carries its node weight in K.
+		for i := range g.Tasks {
+			if g.Tasks[i].K != tree.Weight[i] {
+				t.Fatalf("task %d weight %d, node weight %d", i, g.Tasks[i].K, tree.Weight[i])
+			}
+		}
+	}
+}
+
+func TestLURectShapes(t *testing.T) {
+	cases := []struct{ r, c, want int }{
+		{2, 2, 5},
+		{3, 2, 8},
+		{2, 3, 8},
+		{3, 3, 14},
+		{1, 4, 4}, // 1 getrf + 3 row solves
+		{4, 1, 4}, // 1 getrf + 3 col solves
+	}
+	for _, tc := range cases {
+		g := graphs.LURect(tc.r, tc.c)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Tasks) != tc.want {
+			t.Errorf("%dx%d: tasks = %d, want %d", tc.r, tc.c, len(g.Tasks), tc.want)
+		}
+		if g.Tasks[0].Kernel != graphs.KGetrf {
+			t.Errorf("%dx%d: first task kernel %d", tc.r, tc.c, g.Tasks[0].Kernel)
+		}
+	}
+	// Square LURect agrees with LU.
+	if a, b := graphs.LURect(4, 4), graphs.LU(4); len(a.Tasks) != len(b.Tasks) {
+		t.Errorf("LURect(4,4)=%d tasks, LU(4)=%d", len(a.Tasks), len(b.Tasks))
+	}
+}
+
+func TestETreeDegenerateInputs(t *testing.T) {
+	if graphs.BalancedETree(0).Nodes() != 1 {
+		t.Error("BalancedETree(0)")
+	}
+	if graphs.ChainETree(0).Nodes() != 1 {
+		t.Error("ChainETree(0)")
+	}
+	g := graphs.SparseCholesky(graphs.BalancedETree(0))
+	if len(g.Tasks) != 1 || len(g.Tasks[0].Accesses) != 1 ||
+		g.Tasks[0].Accesses[0].Mode != stf.ReadWrite {
+		t.Errorf("degenerate flow = %+v", g.Tasks)
+	}
+}

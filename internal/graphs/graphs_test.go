@@ -1,0 +1,291 @@
+package graphs_test
+
+import (
+	"testing"
+
+	"rio/internal/graphs"
+	"rio/internal/stf"
+)
+
+func TestAllGeneratorsProduceValidGraphs(t *testing.T) {
+	for _, g := range []*stf.Graph{
+		graphs.Independent(100),
+		graphs.RandomDeps(200, 128, 2, 1, 1),
+		graphs.GEMM(5),
+		graphs.LU(6),
+		graphs.Cholesky(6),
+		graphs.Wavefront(7, 5),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestIndependentHasNoDependencies(t *testing.T) {
+	g := graphs.Independent(50)
+	if len(g.Tasks) != 50 {
+		t.Fatalf("task count = %d", len(g.Tasks))
+	}
+	for id, d := range g.Dependencies() {
+		if len(d) != 0 {
+			t.Fatalf("task %d has deps %v", id, d)
+		}
+	}
+	_, depth := g.Levels()
+	if depth != 1 {
+		t.Errorf("depth = %d, want 1", depth)
+	}
+}
+
+func TestRandomDepsShape(t *testing.T) {
+	g := graphs.RandomDeps(300, 128, 2, 1, 42)
+	if g.NumData != 128 {
+		t.Errorf("NumData = %d", g.NumData)
+	}
+	for i := range g.Tasks {
+		tk := &g.Tasks[i]
+		var reads, writes int
+		for _, a := range tk.Accesses {
+			switch a.Mode {
+			case stf.ReadOnly:
+				reads++
+			case stf.ReadWrite:
+				writes++
+			default:
+				t.Fatalf("task %d: unexpected mode %v", i, a.Mode)
+			}
+		}
+		if reads != 2 || writes != 1 {
+			t.Fatalf("task %d has %d reads, %d writes; paper wants 2R+1W", i, reads, writes)
+		}
+	}
+}
+
+func TestRandomDepsDeterministic(t *testing.T) {
+	a := graphs.RandomDeps(100, 32, 2, 1, 7)
+	b := graphs.RandomDeps(100, 32, 2, 1, 7)
+	for i := range a.Tasks {
+		for j, acc := range a.Tasks[i].Accesses {
+			if b.Tasks[i].Accesses[j] != acc {
+				t.Fatalf("same seed produced different graphs at task %d", i)
+			}
+		}
+	}
+	c := graphs.RandomDeps(100, 32, 2, 1, 8)
+	same := true
+	for i := range a.Tasks {
+		for j, acc := range a.Tasks[i].Accesses {
+			if c.Tasks[i].Accesses[j] != acc {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestRandomDepsPanicsOnImpossibleRequest(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for reads+writes > numData")
+		}
+	}()
+	graphs.RandomDeps(10, 2, 2, 1, 1)
+}
+
+func TestGEMMStructure(t *testing.T) {
+	nt := 4
+	g := graphs.GEMM(nt)
+	if len(g.Tasks) != nt*nt*nt {
+		t.Fatalf("task count = %d, want %d", len(g.Tasks), nt*nt*nt)
+	}
+	if g.NumData != 3*nt*nt {
+		t.Fatalf("NumData = %d, want %d", g.NumData, 3*nt*nt)
+	}
+	// Each C(i,j) chain has nt tasks forming a serial chain; depth == nt.
+	_, depth := g.Levels()
+	if depth != nt {
+		t.Errorf("depth = %d, want %d", depth, nt)
+	}
+	// First task of each chain has no deps; subsequent ones depend on the
+	// previous accumulation.
+	deps := g.Dependencies()
+	for id := range g.Tasks {
+		tk := &g.Tasks[id]
+		if tk.K == 0 && len(deps[id]) != 0 {
+			t.Errorf("task %d (k=0) has deps %v", id, deps[id])
+		}
+		if tk.K > 0 && len(deps[id]) != 1 {
+			t.Errorf("task %d (k=%d) has deps %v, want exactly the previous accumulation", id, tk.K, deps[id])
+		}
+	}
+}
+
+func TestGEMMDataIDsDisjoint(t *testing.T) {
+	nt := 3
+	seen := map[stf.DataID]bool{}
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			for _, d := range []stf.DataID{graphs.AData(nt, i, j), graphs.BData(nt, i, j), graphs.CData(nt, i, j)} {
+				if seen[d] {
+					t.Fatalf("data ID %d reused", d)
+				}
+				seen[d] = true
+			}
+		}
+	}
+	if len(seen) != 3*nt*nt {
+		t.Fatalf("expected %d distinct IDs, got %d", 3*nt*nt, len(seen))
+	}
+}
+
+func TestLUTaskCount(t *testing.T) {
+	for nt := 1; nt <= 8; nt++ {
+		g := graphs.LU(nt)
+		if len(g.Tasks) != graphs.LUTaskCount(nt) {
+			t.Errorf("nt=%d: %d tasks, formula says %d", nt, len(g.Tasks), graphs.LUTaskCount(nt))
+		}
+	}
+	// The model-checking sizes from Table 1's caption: a 2×2 LU has 5
+	// tasks, 3×3 has 14.
+	if graphs.LUTaskCount(2) != 5 {
+		t.Errorf("LUTaskCount(2) = %d, want 5", graphs.LUTaskCount(2))
+	}
+	if graphs.LUTaskCount(3) != 14 {
+		t.Errorf("LUTaskCount(3) = %d, want 14", graphs.LUTaskCount(3))
+	}
+}
+
+func TestLUStructure(t *testing.T) {
+	g := graphs.LU(3)
+	deps := g.Dependencies()
+	// Task 0 is getrf(0,0) with no deps.
+	if g.Tasks[0].Kernel != graphs.KGetrf || len(deps[0]) != 0 {
+		t.Errorf("task 0: kernel=%d deps=%v", g.Tasks[0].Kernel, deps[0])
+	}
+	// Every trsm at step k depends (at least) on that step's getrf.
+	for id := range g.Tasks {
+		tk := &g.Tasks[id]
+		if tk.Kernel == graphs.KTrsmRow || tk.Kernel == graphs.KTrsmCol {
+			found := false
+			for _, d := range deps[id] {
+				if g.Tasks[d].Kernel == graphs.KGetrf && g.Tasks[d].K == tk.K {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("trsm task %d lacks dep on getrf of step %d: %v", id, tk.K, deps[id])
+			}
+		}
+	}
+	// Critical path of right-looking LU on nt tiles: getrf→trsm→gemm per
+	// step, then next getrf: depth = 3(nt-1)+1.
+	_, depth := g.Levels()
+	if want := 3*(3-1) + 1; depth != want {
+		t.Errorf("depth = %d, want %d", depth, want)
+	}
+}
+
+func TestCholeskyStructure(t *testing.T) {
+	g := graphs.Cholesky(4)
+	deps := g.Dependencies()
+	if g.Tasks[0].Kernel != graphs.KPotrf || len(deps[0]) != 0 {
+		t.Errorf("task 0: kernel=%d deps=%v", g.Tasks[0].Kernel, deps[0])
+	}
+	// Task count: Σ_k 1 + r + r(r+1)/2 with r = nt-1-k.
+	want := 0
+	for k := 0; k < 4; k++ {
+		r := 4 - 1 - k
+		want += 1 + r + r*(r+1)/2
+	}
+	if len(g.Tasks) != want {
+		t.Errorf("task count = %d, want %d", len(g.Tasks), want)
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := graphs.Chain(10)
+	_, depth := g.Levels()
+	if depth != 10 {
+		t.Errorf("chain depth = %d, want 10", depth)
+	}
+	deps := g.Dependencies()
+	for i := 1; i < 10; i++ {
+		if len(deps[i]) != 1 || deps[i][0] != stf.TaskID(i-1) {
+			t.Fatalf("chain task %d deps = %v", i, deps[i])
+		}
+	}
+}
+
+func TestTreeReduce(t *testing.T) {
+	for _, leaves := range []int{1, 2, 3, 8, 13, 32} {
+		g := graphs.TreeReduce(leaves)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("leaves=%d: %v", leaves, err)
+		}
+		// Exactly one sink (the root).
+		succs := g.Successors()
+		sinks := 0
+		for _, s := range succs {
+			if len(s) == 0 {
+				sinks++
+			}
+		}
+		if sinks != 1 {
+			t.Errorf("leaves=%d: %d sinks, want 1", leaves, sinks)
+		}
+		// Depth = ceil(log2(leaves)) + 1.
+		_, depth := g.Levels()
+		want := 1
+		for w := leaves; w > 1; w = (w + 1) / 2 {
+			want++
+		}
+		if depth != want {
+			t.Errorf("leaves=%d: depth = %d, want %d", leaves, depth, want)
+		}
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	g := graphs.ForkJoin(3, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 3*(4+1) {
+		t.Errorf("task count = %d, want 15", len(g.Tasks))
+	}
+	// Depth: phase0 (1) + barrier (2), then each later phase adds 2.
+	_, depth := g.Levels()
+	if depth != 2*3 {
+		t.Errorf("depth = %d, want 6", depth)
+	}
+	// The barrier of each phase depends on all width tasks of the phase.
+	deps := g.Dependencies()
+	if got := deps[4]; len(got) != 4 {
+		t.Errorf("first barrier deps = %v, want the 4 phase tasks", got)
+	}
+}
+
+func TestWavefrontStructure(t *testing.T) {
+	g := graphs.Wavefront(4, 5)
+	if len(g.Tasks) != 20 {
+		t.Fatalf("task count = %d", len(g.Tasks))
+	}
+	deps := g.Dependencies()
+	if len(deps[0]) != 0 {
+		t.Errorf("corner cell has deps %v", deps[0])
+	}
+	// Interior cells depend on north and west cells.
+	levels, depth := g.Levels()
+	if depth != 4+5-1 {
+		t.Errorf("depth = %d, want %d (anti-diagonal count)", depth, 4+5-1)
+	}
+	for id := range g.Tasks {
+		tk := &g.Tasks[id]
+		if levels[id] != tk.I+tk.J {
+			t.Errorf("cell (%d,%d) at level %d, want %d", tk.I, tk.J, levels[id], tk.I+tk.J)
+		}
+	}
+}

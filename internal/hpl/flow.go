@@ -1,0 +1,207 @@
+package hpl
+
+import (
+	"fmt"
+	"math"
+
+	"rio/internal/stf"
+)
+
+// Kernel selectors of the pivoted-LU task flow.
+const (
+	// KPivScale searches the pivot of a column, records it, swaps it into
+	// place within the column and scales the sub-diagonal (fine-grained,
+	// one column of work).
+	KPivScale = iota
+	// KSwap applies one pivot interchange to one other panel column.
+	KSwap
+	// KRank1 applies one column's rank-1 panel update to one other panel
+	// column.
+	KRank1
+	// KLaswp applies a panel's accumulated interchanges to one non-panel
+	// column.
+	KLaswp
+	// KTrsm solves the unit-lower triangular panel system for one
+	// trailing column (rows of the panel).
+	KTrsm
+	// KGemm applies the panel's Schur complement to one trailing column
+	// (rows below the panel).
+	KGemm
+)
+
+// Flow is the task-based pivoted LU factorization of one matrix.
+type Flow struct {
+	// Graph is the recorded task flow; one data object per column.
+	Graph *stf.Graph
+	// A is the matrix factored in place, Ipiv the pivot rows (LAPACK
+	// getrf semantics).
+	A    *Dense
+	Ipiv []int
+	// B is the block (panel) width.
+	B int
+	// PanelTasks counts the fine-grained tasks (pivot, swap, rank-1) —
+	// the work the paper says makes HPL hard for centralized runtimes.
+	PanelTasks int
+}
+
+// NewFlow builds the task flow for an n×n matrix with panel width b
+// (b must divide n). The matrix contents can be (re)filled afterwards;
+// the flow depends only on the shape.
+func NewFlow(n, b int) (*Flow, error) {
+	if n <= 0 || b <= 0 || n%b != 0 {
+		return nil, fmt.Errorf("hpl: invalid blocking %d/%d", n, b)
+	}
+	a, err := NewDense(n)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flow{A: a, Ipiv: make([]int, n), B: b}
+	f.Graph = f.build(n, b)
+	return f, nil
+}
+
+// col is the data object of column j.
+func col(j int) stf.DataID { return stf.DataID(j) }
+
+func (f *Flow) build(n, b int) *stf.Graph {
+	g := stf.NewGraph("hpl-lu", n)
+	for kb := 0; kb < n; kb += b {
+		// Panel factorization: fine-grained per-column tasks.
+		for c := kb; c < kb+b; c++ {
+			g.Add(KPivScale, c, c, kb, stf.RW(col(c)))
+			f.PanelTasks++
+			for c2 := kb; c2 < kb+b; c2++ {
+				if c2 == c {
+					continue
+				}
+				g.Add(KSwap, c, c2, kb, stf.R(col(c)), stf.RW(col(c2)))
+				f.PanelTasks++
+			}
+			for c2 := c + 1; c2 < kb+b; c2++ {
+				g.Add(KRank1, c, c2, kb, stf.R(col(c)), stf.RW(col(c2)))
+				f.PanelTasks++
+			}
+		}
+		// Trailing and left updates: per-column tasks reading the panel.
+		reads := make([]stf.Access, 0, b)
+		for c := kb; c < kb+b; c++ {
+			reads = append(reads, stf.R(col(c)))
+		}
+		for c2 := 0; c2 < n; c2++ {
+			if c2 >= kb && c2 < kb+b {
+				continue
+			}
+			accesses := append(append(make([]stf.Access, 0, b+1), reads...), stf.RW(col(c2)))
+			g.Add(KLaswp, kb, c2, kb, accesses...)
+			if c2 >= kb+b {
+				accesses = append(append(make([]stf.Access, 0, b+1), reads...), stf.RW(col(c2)))
+				g.Add(KTrsm, kb, c2, kb, accesses...)
+				accesses = append(append(make([]stf.Access, 0, b+1), reads...), stf.RW(col(c2)))
+				g.Add(KGemm, kb, c2, kb, accesses...)
+			}
+		}
+	}
+	return g
+}
+
+// Kernel returns the stf.Kernel executing the flow's tasks against f.A and
+// f.Ipiv. Zero pivots are reported to sink (the diagonal-boosted random
+// matrices never produce one).
+func (f *Flow) Kernel(sink func(error)) stf.Kernel {
+	a, ipiv, n := f.A, f.Ipiv, f.A.N
+	return func(t *stf.Task, _ stf.WorkerID) {
+		switch t.Kernel {
+		case KPivScale:
+			c := t.I
+			cc := a.Col(c)
+			p := c
+			best := math.Abs(cc[c])
+			for i := c + 1; i < n; i++ {
+				if v := math.Abs(cc[i]); v > best {
+					best, p = v, i
+				}
+			}
+			ipiv[c] = p
+			cc[c], cc[p] = cc[p], cc[c]
+			if cc[c] == 0 {
+				if sink != nil {
+					sink(fmt.Errorf("hpl: zero pivot at column %d", c))
+				}
+				return
+			}
+			inv := 1 / cc[c]
+			for i := c + 1; i < n; i++ {
+				cc[i] *= inv
+			}
+		case KSwap:
+			c, c2 := t.I, t.J
+			p := ipiv[c]
+			if p != c {
+				cc := a.Col(c2)
+				cc[c], cc[p] = cc[p], cc[c]
+			}
+		case KRank1:
+			c, c2 := t.I, t.J
+			src, dst := a.Col(c), a.Col(c2)
+			mult := dst[c]
+			if mult != 0 {
+				for i := c + 1; i < n; i++ {
+					dst[i] -= src[i] * mult
+				}
+			}
+		case KLaswp:
+			kb, c2 := t.I, t.J
+			cc := a.Col(c2)
+			for c := kb; c < kb+f.B; c++ {
+				if p := ipiv[c]; p != c {
+					cc[c], cc[p] = cc[p], cc[c]
+				}
+			}
+		case KTrsm:
+			kb, c2 := t.I, t.J
+			cc := a.Col(c2)
+			for r := kb + 1; r < kb+f.B; r++ {
+				var s float64
+				for rr := kb; rr < r; rr++ {
+					s += a.Col(rr)[r] * cc[rr]
+				}
+				cc[r] -= s
+			}
+		case KGemm:
+			kb, c2 := t.I, t.J
+			cc := a.Col(c2)
+			for i := kb + f.B; i < n; i++ {
+				var s float64
+				for r := kb; r < kb+f.B; r++ {
+					s += a.Col(r)[i] * cc[r]
+				}
+				cc[i] -= s
+			}
+		default:
+			if sink != nil {
+				sink(fmt.Errorf("hpl: unknown kernel %d", t.Kernel))
+			}
+		}
+	}
+}
+
+// ColumnMapping maps every task to the owner of the column it writes,
+// distributed cyclically over p workers — the 1-D block-cyclic column
+// distribution HPL itself uses (its process grids distribute columns).
+func (f *Flow) ColumnMapping(p int) stf.Mapping {
+	owners := make([]stf.WorkerID, len(f.Graph.Tasks))
+	for i := range f.Graph.Tasks {
+		t := &f.Graph.Tasks[i]
+		// The written column is the data of the last access (RW).
+		written := t.Accesses[len(t.Accesses)-1].Data
+		owners[i] = stf.WorkerID(int(written) % p)
+	}
+	return func(id stf.TaskID) stf.WorkerID { return owners[id] }
+}
+
+// FLOPs returns the nominal LU operation count 2n³/3 used for GFLOPS
+// reporting.
+func (f *Flow) FLOPs() float64 {
+	n := float64(f.A.N)
+	return 2 * n * n * n / 3
+}

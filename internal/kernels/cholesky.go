@@ -1,0 +1,110 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tile kernels of the right-looking tiled Cholesky factorization (A = L·Lᵀ
+// for symmetric positive definite A, lower-triangular storage). Cholesky is
+// the classic showcase of static mappings for task-based codes (the paper
+// cites Agullo et al., "Are static schedules so bad?", IPDPS 2016); it is
+// included as an extension workload beyond the paper's four experiments.
+
+// Potrf factors an n×n SPD tile in place into its lower Cholesky factor;
+// entries above the diagonal are left untouched.
+func Potrf(a []float64, n int) error {
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for l := 0; l < j; l++ {
+			d -= a[j*n+l] * a[j*n+l]
+		}
+		if d <= 0 {
+			return fmt.Errorf("kernels: non-positive pivot %g at %d in Cholesky", d, j)
+		}
+		d = math.Sqrt(d)
+		a[j*n+j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for l := 0; l < j; l++ {
+				s -= a[i*n+l] * a[j*n+l]
+			}
+			a[i*n+j] = s * inv
+		}
+	}
+	return nil
+}
+
+// TrsmRightLowerT solves X·Lᵀ = B in place (B ← B·L⁻ᵀ) with L the lower
+// factor stored in l: the panel update A(i, k) after Potrf on A(k, k).
+func TrsmRightLowerT(l, b []float64, n int) {
+	for j := 0; j < n; j++ {
+		inv := 1 / l[j*n+j]
+		for i := 0; i < n; i++ {
+			bi := b[i*n : i*n+n]
+			s := bi[j]
+			for c := 0; c < j; c++ {
+				s -= bi[c] * l[j*n+c]
+			}
+			bi[j] = s * inv
+		}
+	}
+}
+
+// SyrkLower computes C -= A·Aᵀ on the lower triangle of an n×n tile (the
+// diagonal-block update of Cholesky).
+func SyrkLower(c, a []float64, n int) {
+	for i := 0; i < n; i++ {
+		ai := a[i*n : i*n+n]
+		for j := 0; j <= i; j++ {
+			aj := a[j*n : j*n+n]
+			var s float64
+			for l := 0; l < n; l++ {
+				s += ai[l] * aj[l]
+			}
+			c[i*n+j] -= s
+		}
+	}
+}
+
+// CholReconstruct multiplies the packed lower factor back: returns L·Lᵀ as
+// a dense row-major matrix, reading only the lower triangle of m.
+func CholReconstruct(m *Tiled) []float64 {
+	n := m.N
+	l := make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		for c := 0; c <= r; c++ {
+			l[r*n+c] = m.At(r, c)
+		}
+	}
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= min(i, j); k++ {
+				s += l[i*n+k] * l[j*n+k]
+			}
+			out[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// SPDMatrix fills m with a deterministic symmetric positive definite
+// matrix: a random symmetric matrix shifted by n on the diagonal.
+func SPDMatrix(m *Tiled, seed uint64) {
+	s := seed
+	for r := 0; r < m.N; r++ {
+		for c := 0; c <= r; c++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := float64(int64(s>>33)%1000) / 1000.0
+			if c == r {
+				m.Set(r, c, v+float64(m.N))
+			} else {
+				m.Set(r, c, v)
+				m.Set(c, r, v)
+			}
+		}
+	}
+}

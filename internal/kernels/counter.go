@@ -1,0 +1,76 @@
+// Package kernels provides the task bodies used by the workloads: the
+// paper's synthetic counter kernel (§5.1), a blocked double-precision
+// matrix-multiplication tile kernel (the MKL DGEMM substitute for Figures
+// 2–4), and the tile kernels of LU and Cholesky factorizations used by the
+// examples.
+package kernels
+
+import "time"
+
+// Spin is the paper's synthetic task kernel: a loop performing n stores to
+// a counter cell. With this kernel the granularity efficiency e_g and the
+// locality efficiency e_l are 1 by construction — incrementing one counter
+// up to N takes as long as incrementing n counters up to N/n, and the cell
+// lives in the worker's private memory — leaving only the pipelining and
+// runtime efficiencies, the quantities the paper's evaluation isolates.
+//
+// The function is noinline and stores through a caller-provided pointer,
+// which is what the paper's volatile qualifier achieves in C: the compiler
+// must materialize every store.
+//
+//go:noinline
+func Spin(cell *uint64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		*cell = i
+	}
+}
+
+// Cells provides one padded counter cell per worker so that concurrent
+// tasks never share a cache line.
+type Cells struct {
+	cells []paddedCell
+}
+
+type paddedCell struct {
+	v uint64
+	_ [56]byte
+}
+
+// NewCells returns counter cells for p workers.
+func NewCells(p int) *Cells { return &Cells{cells: make([]paddedCell, p)} }
+
+// Cell returns worker w's counter cell.
+func (c *Cells) Cell(w int) *uint64 { return &c.cells[w].v }
+
+// Calibration relates the counter kernel's abstract task size (loop
+// iterations, the paper's x-axis "task size [instructions]") to wall-clock
+// time on this machine.
+type Calibration struct {
+	// NsPerOp is the measured duration of one loop iteration in
+	// nanoseconds.
+	NsPerOp float64
+}
+
+// Calibrate measures the counter kernel's per-iteration cost. The
+// measurement loops until it has spent at least minSample wall time
+// (rounds of 1e6 iterations), so short scheduler hiccups average out.
+func Calibrate(minSample time.Duration) Calibration {
+	var cell uint64
+	const round = 1 << 20
+	// Warm up.
+	Spin(&cell, round)
+	var ops uint64
+	start := time.Now()
+	var elapsed time.Duration
+	for elapsed < minSample {
+		Spin(&cell, round)
+		ops += round
+		elapsed = time.Since(start)
+	}
+	return Calibration{NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops)}
+}
+
+// TaskDuration returns the expected wall time of one task of the given size.
+func (c Calibration) TaskDuration(size uint64) time.Duration {
+	return time.Duration(c.NsPerOp * float64(size))
+}

@@ -1,0 +1,65 @@
+package kernels
+
+// GemmTile computes C += A·B on b×b row-major tiles. It is the pure-Go
+// substitute for the Intel MKL DGEMM tile kernel used in the paper's
+// Figures 2–4: like any cache-blocked GEMM, its efficiency degrades when
+// tiles become too small to amortize loop overhead and cache reuse —
+// exactly the granularity-efficiency effect (e_g) Figure 3 isolates.
+//
+// The loop nest is i-l-j with the innermost loop streaming over rows of B
+// and C, which keeps all accesses unit-stride and lets the compiler keep
+// the accumulator traffic in registers/cache lines.
+func GemmTile(c, a, b []float64, n int) {
+	_ = c[n*n-1]
+	_ = a[n*n-1]
+	_ = b[n*n-1]
+	for i := 0; i < n; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*n : i*n+n]
+		for l := 0; l < n; l++ {
+			ail := ai[l]
+			if ail == 0 {
+				continue
+			}
+			bl := b[l*n : l*n+n]
+			for j, blj := range bl {
+				ci[j] += ail * blj
+			}
+		}
+	}
+}
+
+// GemmSubTile computes C -= A·B on b×b tiles (the Schur-complement update
+// of LU and Cholesky factorizations).
+func GemmSubTile(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*n : i*n+n]
+		for l := 0; l < n; l++ {
+			ail := ai[l]
+			if ail == 0 {
+				continue
+			}
+			bl := b[l*n : l*n+n]
+			for j, blj := range bl {
+				ci[j] -= ail * blj
+			}
+		}
+	}
+}
+
+// GemmSubTileNT computes C -= A·Bᵀ on b×b tiles (the Cholesky update form).
+func GemmSubTileNT(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			bj := b[j*n : j*n+n]
+			var s float64
+			for l := 0; l < n; l++ {
+				s += ai[l] * bj[l]
+			}
+			ci[j] -= s
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package kernels_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rio/internal/kernels"
+)
+
+func TestSpinTerminates(t *testing.T) {
+	var cell uint64
+	kernels.Spin(&cell, 0)
+	kernels.Spin(&cell, 1000)
+	if cell != 999 {
+		t.Errorf("cell = %d, want 999", cell)
+	}
+}
+
+func TestCellsPadded(t *testing.T) {
+	c := kernels.NewCells(4)
+	for w := 0; w < 4; w++ {
+		*c.Cell(w) = uint64(w + 1)
+	}
+	for w := 0; w < 4; w++ {
+		if *c.Cell(w) != uint64(w+1) {
+			t.Errorf("cell %d clobbered", w)
+		}
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	c := kernels.Calibrate(5 * time.Millisecond)
+	if c.NsPerOp <= 0 || c.NsPerOp > 100 {
+		t.Errorf("NsPerOp = %v, implausible", c.NsPerOp)
+	}
+	d := c.TaskDuration(1 << 20)
+	if d <= 0 {
+		t.Errorf("TaskDuration = %v", d)
+	}
+}
+
+func TestNewTiledValidation(t *testing.T) {
+	if _, err := kernels.NewTiled(10, 3); err == nil {
+		t.Error("b not dividing n accepted")
+	}
+	if _, err := kernels.NewTiled(0, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := kernels.NewTiled(8, 4); err != nil {
+		t.Errorf("valid tiling rejected: %v", err)
+	}
+}
+
+func TestTiledRoundTrip(t *testing.T) {
+	m, _ := kernels.NewTiled(8, 2)
+	a := make([]float64, 64)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	if err := m.FromDense(a); err != nil {
+		t.Fatal(err)
+	}
+	got := m.ToDense()
+	if kernels.MaxAbsDiff(a, got) != 0 {
+		t.Error("FromDense/ToDense round trip changed values")
+	}
+	if m.At(3, 5) != a[3*8+5] {
+		t.Errorf("At(3,5) = %v, want %v", m.At(3, 5), a[3*8+5])
+	}
+	m.Set(3, 5, -1)
+	if m.At(3, 5) != -1 {
+		t.Error("Set/At mismatch")
+	}
+}
+
+func TestFromDenseRejectsWrongLength(t *testing.T) {
+	m, _ := kernels.NewTiled(4, 2)
+	if err := m.FromDense(make([]float64, 3)); err == nil {
+		t.Error("wrong dense length accepted")
+	}
+}
+
+func TestGemmTileMatchesDense(t *testing.T) {
+	const n = 8
+	rng := rand.New(rand.NewSource(1))
+	a := randSlice(rng, n*n)
+	b := randSlice(rng, n*n)
+	c := make([]float64, n*n)
+	want := make([]float64, n*n)
+	kernels.MatMulDense(want, a, b, n)
+	kernels.GemmTile(c, a, b, n)
+	if d := kernels.MaxAbsDiff(c, want); d > 1e-12 {
+		t.Errorf("GemmTile differs from dense reference by %v", d)
+	}
+	// GemmTile accumulates: running it twice doubles the result.
+	kernels.GemmTile(c, a, b, n)
+	for i := range want {
+		want[i] *= 2
+	}
+	if d := kernels.MaxAbsDiff(c, want); d > 1e-12 {
+		t.Errorf("accumulation broken, diff %v", d)
+	}
+}
+
+func TestGemmSubTile(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(2))
+	a := randSlice(rng, n*n)
+	b := randSlice(rng, n*n)
+	c := randSlice(rng, n*n)
+	orig := append([]float64(nil), c...)
+	prod := make([]float64, n*n)
+	kernels.MatMulDense(prod, a, b, n)
+	kernels.GemmSubTile(c, a, b, n)
+	for i := range c {
+		if math.Abs(c[i]-(orig[i]-prod[i])) > 1e-12 {
+			t.Fatalf("C -= A·B wrong at %d", i)
+		}
+	}
+}
+
+func TestGemmSubTileNT(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(3))
+	a := randSlice(rng, n*n)
+	b := randSlice(rng, n*n)
+	c := randSlice(rng, n*n)
+	orig := append([]float64(nil), c...)
+	bt := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			bt[i*n+j] = b[j*n+i]
+		}
+	}
+	prod := make([]float64, n*n)
+	kernels.MatMulDense(prod, a, bt, n)
+	kernels.GemmSubTileNT(c, a, b, n)
+	for i := range c {
+		if math.Abs(c[i]-(orig[i]-prod[i])) > 1e-12 {
+			t.Fatalf("C -= A·Bᵀ wrong at %d", i)
+		}
+	}
+}
+
+func TestGetrfReconstruct(t *testing.T) {
+	const n = 12
+	m, _ := kernels.NewTiled(n, n)
+	kernels.DiagDominant(m, 5)
+	orig := m.ToDense()
+	if err := kernels.Getrf(m.Tile(0, 0), n); err != nil {
+		t.Fatal(err)
+	}
+	lu := kernels.LUReconstruct(m)
+	if d := kernels.MaxAbsDiff(lu, orig); d > 1e-9 {
+		t.Errorf("L·U differs from A by %v", d)
+	}
+}
+
+func TestGetrfReportsZeroPivot(t *testing.T) {
+	a := []float64{0, 1, 1, 0} // 2x2 with zero pivot
+	if err := kernels.Getrf(a, 2); err == nil {
+		t.Error("zero pivot not reported")
+	}
+}
+
+func TestTrsmLowerLeft(t *testing.T) {
+	// Factor a diagonally dominant tile, then check L · (L⁻¹B) == B.
+	const n = 8
+	rng := rand.New(rand.NewSource(4))
+	m, _ := kernels.NewTiled(n, n)
+	kernels.DiagDominant(m, 6)
+	lu := m.Tile(0, 0)
+	if err := kernels.Getrf(lu, n); err != nil {
+		t.Fatal(err)
+	}
+	b := randSlice(rng, n*n)
+	orig := append([]float64(nil), b...)
+	kernels.TrsmLowerLeft(lu, b, n)
+	// Rebuild L and multiply.
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		l[i*n+i] = 1
+		for j := 0; j < i; j++ {
+			l[i*n+j] = lu[i*n+j]
+		}
+	}
+	chk := make([]float64, n*n)
+	kernels.MatMulDense(chk, l, b, n)
+	if d := kernels.MaxAbsDiff(chk, orig); d > 1e-9 {
+		t.Errorf("L·X != B, diff %v", d)
+	}
+}
+
+func TestTrsmUpperRight(t *testing.T) {
+	const n = 8
+	rng := rand.New(rand.NewSource(5))
+	m, _ := kernels.NewTiled(n, n)
+	kernels.DiagDominant(m, 7)
+	lu := m.Tile(0, 0)
+	if err := kernels.Getrf(lu, n); err != nil {
+		t.Fatal(err)
+	}
+	b := randSlice(rng, n*n)
+	orig := append([]float64(nil), b...)
+	kernels.TrsmUpperRight(lu, b, n)
+	u := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			u[i*n+j] = lu[i*n+j]
+		}
+	}
+	chk := make([]float64, n*n)
+	kernels.MatMulDense(chk, b, u, n)
+	if d := kernels.MaxAbsDiff(chk, orig); d > 1e-9 {
+		t.Errorf("X·U != B, diff %v", d)
+	}
+}
+
+func TestPotrfReconstruct(t *testing.T) {
+	const n = 12
+	m, _ := kernels.NewTiled(n, n)
+	kernels.SPDMatrix(m, 8)
+	orig := m.ToDense()
+	if err := kernels.Potrf(m.Tile(0, 0), n); err != nil {
+		t.Fatal(err)
+	}
+	llt := kernels.CholReconstruct(m)
+	if d := kernels.MaxAbsDiff(llt, orig); d > 1e-9 {
+		t.Errorf("L·Lᵀ differs from A by %v", d)
+	}
+}
+
+func TestPotrfReportsNonSPD(t *testing.T) {
+	a := []float64{-1, 0, 0, 1}
+	if err := kernels.Potrf(a, 2); err == nil {
+		t.Error("non-SPD matrix not reported")
+	}
+}
+
+func TestSyrkLower(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(9))
+	a := randSlice(rng, n*n)
+	c := randSlice(rng, n*n)
+	orig := append([]float64(nil), c...)
+	kernels.SyrkLower(c, a, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for l := 0; l < n; l++ {
+				s += a[i*n+l] * a[j*n+l]
+			}
+			if math.Abs(c[i*n+j]-(orig[i*n+j]-s)) > 1e-12 {
+				t.Fatalf("syrk wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Upper triangle untouched.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if c[i*n+j] != orig[i*n+j] {
+				t.Fatalf("syrk touched upper triangle at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// Property: GemmTile agrees with the dense reference for random sizes and
+// contents.
+func TestPropertyGemmTileCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randSlice(rng, n*n)
+		b := randSlice(rng, n*n)
+		c := make([]float64, n*n)
+		want := make([]float64, n*n)
+		kernels.MatMulDense(want, a, b, n)
+		kernels.GemmTile(c, a, b, n)
+		return kernels.MaxAbsDiff(c, want) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LU factorization of random diagonally dominant matrices always
+// reconstructs the input.
+func TestPropertyGetrfReconstructs(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%10)
+		m, err := kernels.NewTiled(n, n)
+		if err != nil {
+			return false
+		}
+		kernels.DiagDominant(m, seed)
+		orig := m.ToDense()
+		if err := kernels.Getrf(m.Tile(0, 0), n); err != nil {
+			return false
+		}
+		return kernels.MaxAbsDiff(kernels.LUReconstruct(m), orig) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.Float64()*2 - 1
+	}
+	return s
+}

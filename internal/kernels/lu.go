@@ -1,0 +1,115 @@
+package kernels
+
+import "fmt"
+
+// Tile kernels of the right-looking tiled LU factorization *without
+// pivoting* — the dependency graph of the paper's Experiment 4 and of the
+// formal-specification case study (Table 1). After the factorization, tile
+// (k,k) holds both the unit-lower factor L (below the diagonal, implicit
+// ones on it) and the upper factor U (diagonal and above).
+
+// Getrf factors an n×n tile in place: A = L·U with L unit lower triangular.
+// It returns an error if a zero (or subnormal-tiny) pivot is met, since no
+// pivoting is performed.
+func Getrf(a []float64, n int) error {
+	for k := 0; k < n; k++ {
+		p := a[k*n+k]
+		if p == 0 {
+			return fmt.Errorf("kernels: zero pivot at %d in unpivoted LU", k)
+		}
+		inv := 1 / p
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] *= inv
+			lik := a[i*n+k]
+			ai := a[i*n : i*n+n]
+			ak := a[k*n : k*n+n]
+			for j := k + 1; j < n; j++ {
+				ai[j] -= lik * ak[j]
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmLowerLeft solves L·X = B in place (B ← L⁻¹·B), with L the implicit
+// unit-lower factor stored in lu. This is the update of a row-panel tile
+// A(k, j) after Getrf on A(k, k).
+func TrsmLowerLeft(lu, b []float64, n int) {
+	for i := 1; i < n; i++ {
+		bi := b[i*n : i*n+n]
+		for l := 0; l < i; l++ {
+			lil := lu[i*n+l]
+			if lil == 0 {
+				continue
+			}
+			bl := b[l*n : l*n+n]
+			for j := range bi {
+				bi[j] -= lil * bl[j]
+			}
+		}
+	}
+}
+
+// TrsmUpperRight solves X·U = B in place (B ← B·U⁻¹), with U the upper
+// factor stored in lu. This is the update of a column-panel tile A(i, k)
+// after Getrf on A(k, k).
+func TrsmUpperRight(lu, b []float64, n int) {
+	for j := 0; j < n; j++ {
+		inv := 1 / lu[j*n+j]
+		for i := 0; i < n; i++ {
+			bi := b[i*n : i*n+n]
+			s := bi[j]
+			for l := 0; l < j; l++ {
+				s -= bi[l] * lu[l*n+j]
+			}
+			bi[j] = s * inv
+		}
+	}
+}
+
+// LUReconstruct multiplies the packed L and U factors of a tiled LU result
+// back into a dense matrix, for residual checks: returns L·U as a row-major
+// dense n×n matrix, where m holds the packed factors.
+func LUReconstruct(m *Tiled) []float64 {
+	n := m.N
+	l := make([]float64, n*n)
+	u := make([]float64, n*n)
+	for r := 0; r < n; r++ {
+		l[r*n+r] = 1
+		for c := 0; c < n; c++ {
+			v := m.At(r, c)
+			if c < r {
+				l[r*n+c] = v
+			} else {
+				u[r*n+c] = v
+			}
+		}
+	}
+	out := make([]float64, n*n)
+	MatMulDense(out, l, u, n)
+	return out
+}
+
+// DiagDominant fills m with a deterministic diagonally dominant matrix
+// (safe for unpivoted LU and for Cholesky after symmetrization), seeded by
+// seed so tests are reproducible.
+func DiagDominant(m *Tiled, seed uint64) {
+	s := seed
+	for r := 0; r < m.N; r++ {
+		var row float64
+		for c := 0; c < m.N; c++ {
+			if c == r {
+				continue
+			}
+			s = s*6364136223846793005 + 1442695040888963407
+			v := float64(int64(s>>33)%1000)/1000.0 - 0.5
+			m.Set(r, c, v)
+			if v < 0 {
+				row -= v
+			} else {
+				row += v
+			}
+		}
+		m.Set(r, r, row+1)
+	}
+}

@@ -1,0 +1,101 @@
+package kernels
+
+import "fmt"
+
+// Tiled is a dense square matrix stored as a grid of contiguous square
+// tiles, the storage layout tile-based linear-algebra task flows operate
+// on. Tile (i, j) holds rows i·B..(i+1)·B and columns j·B..(j+1)·B, each
+// tile in row-major order.
+type Tiled struct {
+	// N is the matrix dimension, B the tile dimension; B must divide N.
+	N, B int
+	// NT is the number of tile rows/columns (N / B).
+	NT int
+	// Tiles holds the NT×NT tiles in row-major tile order.
+	Tiles [][]float64
+}
+
+// NewTiled allocates an n×n zero matrix with b×b tiles.
+func NewTiled(n, b int) (*Tiled, error) {
+	if n <= 0 || b <= 0 || n%b != 0 {
+		return nil, fmt.Errorf("kernels: invalid tiling %d/%d", n, b)
+	}
+	nt := n / b
+	m := &Tiled{N: n, B: b, NT: nt, Tiles: make([][]float64, nt*nt)}
+	backing := make([]float64, n*n)
+	for i := range m.Tiles {
+		m.Tiles[i], backing = backing[:b*b:b*b], backing[b*b:]
+	}
+	return m, nil
+}
+
+// Tile returns tile (i, j).
+func (m *Tiled) Tile(i, j int) []float64 { return m.Tiles[i*m.NT+j] }
+
+// At returns element (r, c) in matrix coordinates.
+func (m *Tiled) At(r, c int) float64 {
+	return m.Tile(r/m.B, c/m.B)[(r%m.B)*m.B+(c%m.B)]
+}
+
+// Set assigns element (r, c) in matrix coordinates.
+func (m *Tiled) Set(r, c int, v float64) {
+	m.Tile(r/m.B, c/m.B)[(r%m.B)*m.B+(c%m.B)] = v
+}
+
+// FromDense fills m from a row-major n×n dense matrix.
+func (m *Tiled) FromDense(a []float64) error {
+	if len(a) != m.N*m.N {
+		return fmt.Errorf("kernels: dense length %d, want %d", len(a), m.N*m.N)
+	}
+	for r := 0; r < m.N; r++ {
+		for c := 0; c < m.N; c++ {
+			m.Set(r, c, a[r*m.N+c])
+		}
+	}
+	return nil
+}
+
+// ToDense returns m as a row-major dense matrix.
+func (m *Tiled) ToDense() []float64 {
+	a := make([]float64, m.N*m.N)
+	for r := 0; r < m.N; r++ {
+		for c := 0; c < m.N; c++ {
+			a[r*m.N+c] = m.At(r, c)
+		}
+	}
+	return a
+}
+
+// MatMulDense computes C = A·B for row-major n×n dense matrices (a simple
+// reference used by tests and by the granularity-efficiency baseline).
+func MatMulDense(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		ci := c[i*n : (i+1)*n]
+		for k := range ci {
+			ci[k] = 0
+		}
+		for l := 0; l < n; l++ {
+			ail := a[i*n+l]
+			bl := b[l*n : (l+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += ail * bl[j]
+			}
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between
+// two equally sized vectors.
+func MaxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

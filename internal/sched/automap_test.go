@@ -1,0 +1,119 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rio/internal/core"
+	"rio/internal/enginetest"
+	"rio/internal/graphs"
+	"rio/internal/sched"
+	"rio/internal/sim"
+	"rio/internal/stf"
+)
+
+func TestAutoMapValidAndCorrect(t *testing.T) {
+	for _, g := range []*stf.Graph{
+		graphs.Independent(100),
+		graphs.LU(5),
+		graphs.Wavefront(6, 6),
+		graphs.RandomDeps(200, 16, 2, 1, 3),
+		graphs.SparseCholesky(graphs.RandomETree(60, 4, 1)),
+	} {
+		for _, p := range []int{1, 2, 4} {
+			res := sched.AutoMap(g, p, nil)
+			if err := sched.Validate(g, res.Mapping, p); err != nil {
+				t.Fatalf("%s p=%d: %v", g.Name, p, err)
+			}
+			if res.Makespan <= 0 {
+				t.Errorf("%s p=%d: makespan %v", g.Name, p, res.Makespan)
+			}
+			e, err := core.New(core.Options{Workers: p, Mapping: res.Mapping})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := enginetest.Check(e, g); err != nil {
+				t.Errorf("%s p=%d: %v", g.Name, p, err)
+			}
+		}
+	}
+}
+
+func TestAutoMapBalancesIndependentTasks(t *testing.T) {
+	g := graphs.Independent(100)
+	res := sched.AutoMap(g, 4, nil)
+	for w, l := range res.Loads {
+		if l != 25*time.Microsecond {
+			t.Errorf("worker %d load = %v, want 25µs", w, l)
+		}
+	}
+	if res.Makespan != 25*time.Microsecond {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestAutoMapRespectsWeights(t *testing.T) {
+	// Two heavy tasks and many light ones: the heavy pair must land on
+	// different workers.
+	g := stf.NewGraph("weights", 0)
+	g.Add(0, 0, 0, 100)
+	g.Add(0, 1, 0, 100)
+	for i := 0; i < 10; i++ {
+		g.Add(0, i, 0, 1)
+	}
+	res := sched.AutoMap(g, 2, sched.WeightCost(time.Microsecond))
+	if res.Mapping(0) == res.Mapping(1) {
+		t.Error("both heavy tasks on one worker")
+	}
+}
+
+// AutoMap's schedule must be at least as good as cyclic in simulation on
+// structured graphs (it optimizes for exactly the simulator's model).
+func TestAutoMapBeatsCyclicInSimulation(t *testing.T) {
+	for _, g := range []*stf.Graph{
+		graphs.Wavefront(8, 8),
+		graphs.SparseCholesky(graphs.RandomETree(80, 4, 5)),
+	} {
+		const p = 4
+		dur := 10 * time.Microsecond
+		w := sim.UniformWorkload(g, dur)
+		auto := sched.AutoMap(g, p, func(*stf.Task) time.Duration { return dur })
+		rAuto, err := sim.SimulateRIO(w, p, auto.Mapping, sim.Costs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rCyc, err := sim.SimulateRIO(w, p, sched.Cyclic(p), sim.Costs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rAuto.Makespan > rCyc.Makespan {
+			t.Errorf("%s: automap %v worse than cyclic %v", g.Name, rAuto.Makespan, rCyc.Makespan)
+		}
+	}
+}
+
+func TestPropertyAutoMapAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := enginetest.RandomGraph(rng, 50, 8)
+		p := 1 + rng.Intn(6)
+		res := sched.AutoMap(g, p, nil)
+		if sched.Validate(g, res.Mapping, p) != nil {
+			return false
+		}
+		// The makespan estimate is bounded below by both work/p and the
+		// unit-cost critical path.
+		_, depth := g.Levels()
+		unit := time.Microsecond
+		if res.Makespan < time.Duration(depth)*unit {
+			return false
+		}
+		total := time.Duration(len(g.Tasks)) * unit
+		return res.Makespan >= total/time.Duration(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"sort"
+
+	"rio/internal/graphs"
+	"rio/internal/stf"
+)
+
+// Proportional mapping (Pothen & Sun; George, Liu & Ng — the sparse
+// counterpart of 2-D block-cyclic mappings, cited by the paper in §3.2):
+// workers are assigned to elimination-tree subtrees proportionally to the
+// subtrees' total work. Starting at the root with the full worker set, each
+// node's worker group is split among its children subtrees by weight;
+// descent stops when a group has a single worker, which then owns the
+// whole subtree. Nodes above the cut (owned by groups of more than one
+// worker) are sequential bottlenecks anyway and are given to the group's
+// first worker.
+//
+// The result: disjoint subtrees run on disjoint workers with zero
+// synchronization between them (RIO's ideal case — all waits concentrate
+// on the upper, inherently sequential part of the tree).
+
+// Proportional computes the proportional mapping of the tree's
+// SparseCholesky task flow (task i = node i) onto p workers.
+func Proportional(t *graphs.ETree, p int) stf.Mapping {
+	n := t.Nodes()
+	owner := make([]stf.WorkerID, n)
+	sub := t.SubtreeWeights()
+	ch := t.Children()
+
+	// assign gives nodes of the subtree rooted at r to workers [lo, hi).
+	var assign func(r, lo, hi int)
+	assign = func(r, lo, hi int) {
+		owner[r] = stf.WorkerID(lo)
+		if hi-lo <= 1 {
+			// Single worker: the whole subtree is its.
+			markSubtree(ch, r, stf.WorkerID(lo), owner)
+			return
+		}
+		kids := append([]int(nil), ch[r]...)
+		if len(kids) == 0 {
+			return
+		}
+		// Largest-weight children first, then split the worker range
+		// proportionally to subtree weights.
+		sort.Slice(kids, func(a, b int) bool { return sub[kids[a]] > sub[kids[b]] })
+		var total int64
+		for _, c := range kids {
+			total += sub[c]
+		}
+		if total == 0 {
+			total = 1
+		}
+		workers := hi - lo
+		cursor := lo
+		remaining := workers
+		for i, c := range kids {
+			share := int(int64(workers) * sub[c] / total)
+			if share < 1 {
+				share = 1
+			}
+			if share > remaining-(len(kids)-1-i) {
+				share = remaining - (len(kids) - 1 - i)
+			}
+			if share < 1 {
+				share = 1
+			}
+			if cursor+share > hi {
+				share = hi - cursor
+			}
+			if share <= 0 {
+				// Worker range exhausted: remaining children go to the
+				// last worker.
+				markSubtree(ch, c, stf.WorkerID(hi-1), owner)
+				owner[c] = stf.WorkerID(hi - 1)
+				continue
+			}
+			assign(c, cursor, cursor+share)
+			cursor += share
+			remaining -= share
+		}
+	}
+	// Roots (usually one) share the full worker range.
+	var roots []int
+	for i, par := range t.Parent {
+		if par < 0 {
+			roots = append(roots, i)
+		}
+	}
+	for _, r := range roots {
+		assign(r, 0, p)
+	}
+	return Table(owner)
+}
+
+// markSubtree assigns w to every node under r (r excluded; callers set it).
+func markSubtree(ch [][]int, r int, w stf.WorkerID, owner []stf.WorkerID) {
+	stack := append([]int(nil), ch[r]...)
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		owner[nd] = w
+		stack = append(stack, ch[nd]...)
+	}
+}

@@ -1,0 +1,181 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rio/internal/core"
+	"rio/internal/enginetest"
+	"rio/internal/graphs"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+func TestProportionalValidAndComplete(t *testing.T) {
+	for _, tree := range []*graphs.ETree{
+		graphs.BalancedETree(16),
+		graphs.RandomETree(100, 5, 3),
+		graphs.ChainETree(20),
+	} {
+		g := graphs.SparseCholesky(tree)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 4, 7} {
+			m := sched.Proportional(tree, p)
+			if err := sched.Validate(g, m, p); err != nil {
+				t.Errorf("p=%d: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestProportionalBalancesBalancedTree(t *testing.T) {
+	// A complete binary tree over p=4 workers: the four depth-2 subtrees
+	// have equal weight, so the leaf work must split exactly evenly.
+	tree := graphs.BalancedETree(64)
+	g := graphs.SparseCholesky(tree)
+	p := 4
+	m := sched.Proportional(tree, p)
+	// Weighted load per worker over leaf nodes (the bulk of the tree).
+	load := make([]int64, p)
+	for i := 0; i < tree.Nodes(); i++ {
+		load[m(stf.TaskID(i))] += int64(tree.Weight[i])
+	}
+	min, max := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	if float64(max) > 1.3*float64(min) {
+		t.Errorf("unbalanced proportional mapping: %v", load)
+	}
+	_ = g
+}
+
+func TestProportionalDisjointSubtrees(t *testing.T) {
+	// With p=2 on a balanced tree, the two depth-1 subtrees must land on
+	// different single workers (zero inter-worker synchronization below
+	// the root).
+	tree := graphs.BalancedETree(8)
+	m := sched.Proportional(tree, 2)
+	ch := tree.Children()
+	root := tree.Nodes() - 1
+	kids := ch[root]
+	if len(kids) != 2 {
+		t.Fatalf("root children = %d", len(kids))
+	}
+	wa, wb := m(stf.TaskID(kids[0])), m(stf.TaskID(kids[1]))
+	if wa == wb {
+		t.Errorf("both root subtrees mapped to worker %d", wa)
+	}
+	// Every node strictly inside a subtree shares its subtree's worker.
+	var checkSub func(r int, w stf.WorkerID)
+	checkSub = func(r int, w stf.WorkerID) {
+		if got := m(stf.TaskID(r)); got != w {
+			t.Fatalf("node %d on worker %d, subtree owner %d", r, got, w)
+		}
+		for _, c := range ch[r] {
+			checkSub(c, w)
+		}
+	}
+	checkSub(kids[0], wa)
+	checkSub(kids[1], wb)
+}
+
+func TestProportionalSingleWorker(t *testing.T) {
+	tree := graphs.RandomETree(30, 3, 1)
+	m := sched.Proportional(tree, 1)
+	for i := 0; i < tree.Nodes(); i++ {
+		if m(stf.TaskID(i)) != 0 {
+			t.Fatalf("node %d not on worker 0", i)
+		}
+	}
+}
+
+func TestSparseCholeskyStructure(t *testing.T) {
+	tree := graphs.BalancedETree(4)
+	g := graphs.SparseCholesky(tree)
+	// 4 leaves + 2 + 1 = 7 nodes; depth = 3 (leaf → mid → root).
+	if len(g.Tasks) != 7 {
+		t.Fatalf("tasks = %d", len(g.Tasks))
+	}
+	_, depth := g.Levels()
+	if depth != 3 {
+		t.Errorf("depth = %d, want 3", depth)
+	}
+	// The root task depends on its two children.
+	deps := g.Dependencies()
+	if len(deps[6]) != 2 {
+		t.Errorf("root deps = %v", deps[6])
+	}
+}
+
+func TestETreeHelpers(t *testing.T) {
+	tree := graphs.ChainETree(5)
+	sub := tree.SubtreeWeights()
+	if sub[4] != 5 || sub[0] != 1 {
+		t.Errorf("chain subtree weights = %v", sub)
+	}
+	ch := tree.Children()
+	if len(ch[4]) != 1 || ch[4][0] != 3 {
+		t.Errorf("chain children = %v", ch[4])
+	}
+	if graphs.BalancedETree(5).Nodes() != 15 { // rounded to 8 leaves
+		t.Errorf("balanced tree rounding wrong")
+	}
+	if graphs.RandomETree(0, 0, 1).Nodes() != 1 {
+		t.Error("degenerate random tree")
+	}
+}
+
+func TestProportionalExecutionCorrect(t *testing.T) {
+	for _, tree := range []*graphs.ETree{
+		graphs.BalancedETree(16),
+		graphs.RandomETree(80, 4, 7),
+		graphs.ChainETree(12),
+	} {
+		g := graphs.SparseCholesky(tree)
+		for _, p := range []int{2, 4} {
+			e, err := core.New(core.Options{Workers: p, Mapping: sched.Proportional(tree, p)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := enginetest.Check(e, g); err != nil {
+				t.Errorf("p=%d: %v", p, err)
+			}
+		}
+	}
+}
+
+// Property: proportional mappings are always valid and always produce
+// correct executions under RIO for random trees.
+func TestPropertyProportional(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := graphs.RandomETree(1+rng.Intn(60), 1+rng.Intn(6), seed)
+		p := 1 + rng.Intn(6)
+		g := graphs.SparseCholesky(tree)
+		m := sched.Proportional(tree, p)
+		if sched.Validate(g, m, p) != nil {
+			return false
+		}
+		e, err := core.New(core.Options{Workers: p, Mapping: m})
+		if err != nil {
+			return false
+		}
+		return enginetest.Check(e, g) == nil
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

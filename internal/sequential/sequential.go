@@ -1,0 +1,118 @@
+// Package sequential implements the trivial STF execution model: run every
+// task inline, in task-flow order, on the calling goroutine. It is
+// semantically the reference implementation — the STF sequential-consistency
+// guarantee says every valid parallel execution must produce the same
+// result as this one — and it provides the t(g) measurements of the
+// efficiency decomposition (paper §2.3).
+package sequential
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rio/internal/stf"
+	"rio/internal/trace"
+)
+
+// Engine executes STF programs sequentially. The zero value is not usable;
+// use New.
+type Engine struct {
+	noAcct bool
+	stats  trace.Stats
+}
+
+// Options configures a sequential engine.
+type Options struct {
+	// NoAccounting disables per-task time-stamping.
+	NoAccounting bool
+}
+
+// New returns a sequential engine.
+func New(o Options) *Engine { return &Engine{noAcct: o.NoAccounting} }
+
+// Name identifies the execution model in reports.
+func (e *Engine) Name() string { return "sequential" }
+
+// NumWorkers returns 1.
+func (e *Engine) NumWorkers() int { return 1 }
+
+// Run executes prog, running each submitted task immediately.
+func (e *Engine) Run(numData int, prog stf.Program) error {
+	if numData < 0 {
+		return errors.New("sequential: negative numData")
+	}
+	s := &submitter{noAcct: e.noAcct}
+	t0 := time.Now()
+	prog(s)
+	wall := time.Since(t0)
+	s.ws.Wall = wall
+	if !e.noAcct {
+		if r := wall - s.ws.Task; r > 0 {
+			s.ws.Runtime = r
+		}
+	}
+	e.stats = trace.Stats{Workers: []trace.WorkerStats{s.ws}, Wall: wall, Accounted: !e.noAcct}
+	return s.err
+}
+
+// Stats returns the time decomposition of the last Run.
+func (e *Engine) Stats() *trace.Stats { return &e.stats }
+
+type submitter struct {
+	next   stf.TaskID
+	noAcct bool
+	ws     trace.WorkerStats
+	err    error
+}
+
+// Worker implements stf.Submitter; the sequential executor is its own
+// master.
+func (s *submitter) Worker() stf.WorkerID { return stf.MasterWorker }
+
+// NumWorkers implements stf.Submitter.
+func (s *submitter) NumWorkers() int { return 1 }
+
+// Submit implements stf.Submitter: the task runs before Submit returns.
+func (s *submitter) Submit(fn stf.TaskFunc, accesses ...stf.Access) stf.TaskID {
+	id := s.next
+	s.next++
+	s.run(func() { fn() })
+	return id
+}
+
+// SubmitTask implements stf.Submitter for recorded tasks.
+func (s *submitter) SubmitTask(t *stf.Task, k stf.Kernel) stf.TaskID {
+	if t.ID < s.next {
+		if s.err == nil {
+			s.err = fmt.Errorf("sequential: task ID %d submitted after ID %d", t.ID, s.next-1)
+		}
+		return t.ID
+	}
+	s.next = t.ID + 1
+	s.run(func() { k(t, stf.MasterWorker) })
+	return t.ID
+}
+
+func (s *submitter) run(f func()) {
+	if s.err != nil {
+		return
+	}
+	// A panicking task fails the run but does not unwind the caller
+	// (Submit keeps its documented return-after-execution contract);
+	// subsequent tasks are skipped via the sticky error.
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = fmt.Errorf("sequential: task %d panicked: %v", s.next-1, r)
+		}
+	}()
+	if s.noAcct {
+		f()
+		s.ws.Executed++
+		return
+	}
+	t0 := time.Now()
+	f()
+	s.ws.Task += time.Since(t0)
+	s.ws.Executed++
+}

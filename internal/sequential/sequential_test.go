@@ -1,0 +1,137 @@
+package sequential_test
+
+import (
+	"testing"
+
+	"rio/internal/enginetest"
+	"rio/internal/graphs"
+	"rio/internal/sequential"
+	"rio/internal/stf"
+)
+
+func TestExecutesInSubmissionOrder(t *testing.T) {
+	e := sequential.New(sequential.Options{})
+	var got []int
+	err := e.Run(1, func(s stf.Submitter) {
+		for i := 0; i < 20; i++ {
+			i := i
+			s.Submit(func() { got = append(got, i) }, stf.RW(0))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d ran task %d", i, v)
+		}
+	}
+}
+
+func TestSubmitRunsBeforeReturn(t *testing.T) {
+	e := sequential.New(sequential.Options{})
+	err := e.Run(0, func(s stf.Submitter) {
+		ran := false
+		s.Submit(func() { ran = true })
+		if !ran {
+			t.Error("Submit returned before the task ran")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	e := sequential.New(sequential.Options{})
+	if e.Name() != "sequential" {
+		t.Errorf("Name() = %q", e.Name())
+	}
+	if e.NumWorkers() != 1 {
+		t.Errorf("NumWorkers() = %d", e.NumWorkers())
+	}
+}
+
+func TestRunRejectsNegativeNumData(t *testing.T) {
+	e := sequential.New(sequential.Options{})
+	if err := e.Run(-1, func(stf.Submitter) {}); err == nil {
+		t.Error("negative numData accepted")
+	}
+}
+
+func TestTaskIDRegressionReported(t *testing.T) {
+	e := sequential.New(sequential.Options{})
+	tasks := []stf.Task{{ID: 3}, {ID: 1}}
+	err := e.Run(0, func(s stf.Submitter) {
+		s.SubmitTask(&tasks[0], func(*stf.Task, stf.WorkerID) {})
+		s.SubmitTask(&tasks[1], func(*stf.Task, stf.WorkerID) {})
+	})
+	if err == nil {
+		t.Error("ID regression not reported")
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := sequential.New(sequential.Options{})
+	g := graphs.LU(4)
+	if _, err := enginetest.Run(e, g); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Executed() != int64(len(g.Tasks)) {
+		t.Errorf("executed = %d, want %d", st.Executed(), len(g.Tasks))
+	}
+	if len(st.Workers) != 1 {
+		t.Errorf("worker count = %d", len(st.Workers))
+	}
+	task, idle, _ := st.Cumulative()
+	if idle != 0 {
+		t.Errorf("sequential engine reported idle time %v", idle)
+	}
+	if task > st.Wall {
+		t.Errorf("task time %v exceeds wall %v", task, st.Wall)
+	}
+}
+
+func TestNoAccounting(t *testing.T) {
+	e := sequential.New(sequential.Options{NoAccounting: true})
+	g := graphs.GEMM(3)
+	if err := enginetest.Check(e, g); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Accounted {
+		t.Error("stats claim accounting was on")
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	e := sequential.New(sequential.Options{})
+	after := false
+	err := e.Run(0, func(s stf.Submitter) {
+		s.Submit(func() { panic("boom") })
+		s.Submit(func() { after = true })
+	})
+	if err == nil {
+		t.Fatal("panicking run returned nil error")
+	}
+	if after {
+		t.Error("tasks after the panic still executed")
+	}
+}
+
+func TestSelfConsistency(t *testing.T) {
+	// The sequential engine is the oracle's reference; Check against
+	// itself must trivially pass for all workloads.
+	for _, g := range []*stf.Graph{
+		graphs.Independent(50),
+		graphs.RandomDeps(100, 16, 2, 1, 5),
+		graphs.GEMM(3),
+		graphs.LU(4),
+		graphs.Cholesky(4),
+		graphs.Wavefront(4, 4),
+	} {
+		if err := enginetest.Check(sequential.New(sequential.Options{}), g); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package spec is the executable counterpart of the paper's formal
+// specification (§4 and Appendix B): an explicit-state model checker for
+// the STF programming model and the Run-In-Order execution model.
+//
+// The paper writes both models in TLA+ and checks them with TLC on tiled-LU
+// task flows (Table 1). This package implements the same two transition
+// systems directly in Go:
+//
+//   - the STF module (stf.go) describes *all* sequentially consistent
+//     executions of a task flow by any set of workers, and is checked for
+//     data-race freedom and deadlock-freedom (which, over a finite acyclic
+//     task flow with weak fairness, implies the paper's termination
+//     property);
+//   - the Run-In-Order module (rio.go) restricts executions to a static
+//     mapping with per-worker in-order execution, and is checked to
+//     *refine* the STF module: every reachable RIO state projects onto a
+//     reachable STF state and every RIO execution step is a legal STF step.
+//
+// States are encoded compactly (task bitsets + worker registers) so that
+// breadth-first enumeration of all interleavings is exact; like TLC, the
+// checker reports generated and distinct state counts.
+package spec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rio/internal/stf"
+)
+
+// MaxTasks bounds the task-flow size a model can hold (task sets are
+// uint64 bitsets, as in the paper only very small instances are checkable
+// before combinatorial explosion).
+const MaxTasks = 64
+
+// MaxWorkers bounds the worker count of a model.
+const MaxWorkers = 4
+
+// idle marks a worker without an active task.
+const idle = int8(-1)
+
+// Model is a finite instance of the specification: a task flow, a worker
+// count, and (for the Run-In-Order module) a static mapping.
+type Model struct {
+	graph   *stf.Graph
+	workers int
+	mapping stf.Mapping
+
+	// blockers[t] is the set of tasks t' < t that must have terminated
+	// before t may start (the ReadReady/WriteReady conditions of the
+	// TLA+ spec, folded into one precomputed bitset per task):
+	// for a read of d, all earlier writers of d; for a write of d, all
+	// earlier accessors of d.
+	blockers []uint64
+	// conflict[t] is the set of tasks conflicting with t (shared data
+	// with at least one write) — the DataRaceFreedom invariant.
+	conflict []uint64
+	// owned[w] lists the tasks mapped to worker w, in task-flow order.
+	owned [][]int8
+	// ownedPrefix[w][p] is the bitset of w's first p owned tasks.
+	ownedPrefix [][]uint64
+	all         uint64
+}
+
+// NewModel builds a model instance. The mapping may be nil for STF-only
+// checking; it is required by CheckRIO.
+func NewModel(g *stf.Graph, workers int, mapping stf.Mapping) (*Model, error) {
+	n := len(g.Tasks)
+	if n == 0 || n > MaxTasks {
+		return nil, fmt.Errorf("spec: task count %d outside [1,%d]", n, MaxTasks)
+	}
+	if workers < 1 || workers > MaxWorkers {
+		return nil, fmt.Errorf("spec: worker count %d outside [1,%d]", workers, MaxWorkers)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range g.Tasks {
+		for _, a := range g.Tasks[i].Accesses {
+			if a.Mode.Commutes() {
+				return nil, fmt.Errorf("spec: task %d uses a Reduction access; the formal model covers the strict R/W protocol only", i)
+			}
+		}
+	}
+	m := &Model{graph: g, workers: workers, mapping: mapping}
+	m.all = allMask(n)
+	m.blockers = make([]uint64, n)
+	m.conflict = make([]uint64, n)
+	for t := 0; t < n; t++ {
+		for u := 0; u < n; u++ {
+			if u == t {
+				continue
+			}
+			if !stf.ConflictFree(&g.Tasks[t], &g.Tasks[u]) {
+				m.conflict[t] |= 1 << u
+				if u < t {
+					if m.blocks(u, t) {
+						m.blockers[t] |= 1 << u
+					}
+				}
+			}
+		}
+	}
+	if mapping != nil {
+		m.owned = make([][]int8, workers)
+		m.ownedPrefix = make([][]uint64, workers)
+		for t := 0; t < n; t++ {
+			w := mapping(stf.TaskID(t))
+			if w < 0 || int(w) >= workers {
+				return nil, fmt.Errorf("spec: mapping(%d) = %d out of range", t, w)
+			}
+			m.owned[w] = append(m.owned[w], int8(t))
+		}
+		for w := 0; w < workers; w++ {
+			pre := make([]uint64, len(m.owned[w])+1)
+			for p, t := range m.owned[w] {
+				pre[p+1] = pre[p] | 1<<uint(t)
+			}
+			m.ownedPrefix[w] = pre
+		}
+	}
+	return m, nil
+}
+
+// blocks reports whether task u (u < t) must terminate before t can start,
+// per the STF readiness rules: t reading d waits for earlier writers of d;
+// t writing d waits for all earlier accessors of d.
+func (m *Model) blocks(u, t int) bool {
+	for _, at := range m.graph.Tasks[t].Accesses {
+		for _, au := range m.graph.Tasks[u].Accesses {
+			if at.Data != au.Data {
+				continue
+			}
+			if at.Mode.Writes() {
+				return true // write waits for any earlier access
+			}
+			if au.Mode.Writes() {
+				return true // read waits for earlier writes
+			}
+		}
+	}
+	return false
+}
+
+// taskReady evaluates the TaskReady predicate: every blocker of t is in the
+// terminated set.
+func (m *Model) taskReady(t int, terminated uint64) bool {
+	return m.blockers[t]&^terminated == 0
+}
+
+func allMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Result reports a model-checking run, mirroring the columns of the
+// paper's Table 1 plus the verified properties.
+type Result struct {
+	// Generated counts state transitions explored (successor states
+	// produced, including rediscoveries of known states).
+	Generated int64
+	// Distinct counts unique reachable states.
+	Distinct int64
+	// Depth is the BFS depth of the state graph (longest shortest path).
+	Depth int
+	// Violations lists property violations found (empty means the model
+	// checked out).
+	Violations []string
+}
+
+// OK reports whether no property was violated.
+func (r *Result) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Result) violate(format string, args ...any) {
+	if len(r.Violations) < 16 {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// activeBits returns the bitset of tasks held by busy workers and whether
+// any pair of active tasks violates data-race freedom.
+func (m *Model) activeBits(active *[MaxWorkers]int8) (uint64, bool) {
+	var bitsSet uint64
+	race := false
+	for w := 0; w < m.workers; w++ {
+		t := active[w]
+		if t == idle {
+			continue
+		}
+		if m.conflict[t]&bitsSet != 0 {
+			race = true
+		}
+		bitsSet |= 1 << uint(t)
+	}
+	return bitsSet, race
+}
+
+// popcount wraps bits.OnesCount64 for readability at call sites.
+func popcount(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,218 @@
+package spec
+
+// The Run-In-Order module (paper Appendix B.2): compared to STF, two
+// constraints are added — the worker responsible for a task is fixed by the
+// Mapping, and each worker executes its attributed tasks in task-flow
+// order. The module is checked to *implement* the STF specification: every
+// reachable RIO state projects onto a reachable STF state and every
+// ExecuteTask step satisfies the STF readiness predicate, so sequential
+// consistency, data-race freedom and termination carry over.
+
+// rioState is one state of the Run-In-Order transition system: how far
+// each worker has advanced into its own (mapped, ordered) task list, and
+// which task it is currently executing.
+type rioState struct {
+	pos    [MaxWorkers]uint8
+	active [MaxWorkers]int8
+}
+
+func (m *Model) rioInit() rioState {
+	var s rioState
+	for w := range s.active {
+		s.active[w] = idle
+	}
+	return s
+}
+
+// rioTerminated computes the terminated-task bitset of a state: everything
+// each worker has passed, minus what is still being executed.
+func (m *Model) rioTerminated(s rioState) uint64 {
+	var started uint64
+	for w := 0; w < m.workers; w++ {
+		started |= m.ownedPrefix[w][s.pos[w]]
+	}
+	activeBits, _ := m.activeBits(&s.active)
+	return started &^ activeBits
+}
+
+// rioSuccessors appends every successor of s to buf. Unlike STF, an idle
+// worker has at most one candidate: the *first* unexecuted task of its own
+// list (in-order execution).
+func (m *Model) rioSuccessors(s rioState, buf []rioState) []rioState {
+	terminated := m.rioTerminated(s)
+	for w := 0; w < m.workers; w++ {
+		if s.active[w] != idle {
+			n := s
+			n.active[w] = idle
+			buf = append(buf, n)
+			continue
+		}
+		p := int(s.pos[w])
+		if p >= len(m.owned[w]) {
+			continue
+		}
+		t := int(m.owned[w][p])
+		if !m.taskReady(t, terminated) {
+			continue
+		}
+		n := s
+		n.pos[w] = uint8(p + 1)
+		n.active[w] = int8(t)
+		buf = append(buf, n)
+	}
+	return buf
+}
+
+// project maps a RIO state onto the corresponding STF state (pending = not
+// yet started, same active registers).
+func (m *Model) project(s rioState) stfState {
+	var started uint64
+	for w := 0; w < m.workers; w++ {
+		started |= m.ownedPrefix[w][s.pos[w]]
+	}
+	return stfState{pending: m.all &^ started, active: s.active}
+}
+
+// RIOOptions tweak the Run-In-Order checker; the mutations exist so tests
+// can confirm the checker actually catches broken execution models.
+type RIOOptions struct {
+	// SkipReadBlockers unsoundly lets a writer start while earlier
+	// readers are still pending/active (dropping the get_write read-count
+	// wait of Algorithm 2) — used as a negative control: checking a model
+	// with this mutation must FAIL on task flows with read-then-write
+	// patterns.
+	SkipReadBlockers bool
+	// SkipRefinement disables the (more expensive) STF-reachability
+	// refinement check and verifies only the direct invariants.
+	SkipRefinement bool
+}
+
+// CheckRIO exhaustively explores the Run-In-Order model, verifying
+// data-race freedom, deadlock-freedom (hence, with fairness, termination)
+// and refinement of the STF specification.
+func (m *Model) CheckRIO(opts RIOOptions) *Result {
+	if m.mapping == nil {
+		res := &Result{}
+		res.violate("RIO: model has no mapping")
+		return res
+	}
+	res := &Result{}
+
+	blockers := m.blockers
+	if opts.SkipReadBlockers {
+		blockers = m.unsoundBlockers()
+	}
+	ready := func(t int, terminated uint64) bool {
+		return blockers[t]&^terminated == 0
+	}
+
+	var stfStates map[stfState]struct{}
+	if !opts.SkipRefinement {
+		stfStates = m.stfReachable()
+	}
+
+	init := m.rioInit()
+	seen := map[rioState]struct{}{init: {}}
+	frontier := []rioState{init}
+	res.Distinct = 1
+	terminatedReachable := false
+	var buf []rioState
+	for len(frontier) > 0 {
+		var next []rioState
+		for _, s := range frontier {
+			activeBits, race := m.activeBits(&s.active)
+			if race {
+				res.violate("RIO: data race in state pos=%v active=%v", s.pos, s.active)
+			}
+			if !opts.SkipRefinement {
+				if _, ok := stfStates[m.project(s)]; !ok {
+					res.violate("RIO: state pos=%v active=%v projects outside the STF state space", s.pos, s.active)
+				}
+			}
+			terminated := m.rioTerminated(s)
+			done := activeBits == 0 && terminated == m.all
+			if done {
+				terminatedReachable = true
+				continue
+			}
+			// Successors under the (possibly mutated) readiness rule.
+			buf = buf[:0]
+			for w := 0; w < m.workers; w++ {
+				if s.active[w] != idle {
+					n := s
+					n.active[w] = idle
+					buf = append(buf, n)
+					continue
+				}
+				p := int(s.pos[w])
+				if p >= len(m.owned[w]) {
+					continue
+				}
+				t := int(m.owned[w][p])
+				if !ready(t, terminated) {
+					continue
+				}
+				// Refinement, step part: the executed task must be
+				// ready under the *STF* rules too.
+				if !m.taskReady(t, terminated) {
+					res.violate("RIO: step executes task %d not ready under STF semantics", t)
+				}
+				n := s
+				n.pos[w] = uint8(p + 1)
+				n.active[w] = int8(t)
+				buf = append(buf, n)
+			}
+			res.Generated += int64(len(buf))
+			if len(buf) == 0 {
+				res.violate("RIO: deadlock in state pos=%v active=%v", s.pos, s.active)
+			}
+			for _, n := range buf {
+				if _, ok := seen[n]; ok {
+					continue
+				}
+				seen[n] = struct{}{}
+				res.Distinct++
+				next = append(next, n)
+			}
+		}
+		frontier = next
+		if len(frontier) > 0 {
+			res.Depth++
+		}
+	}
+	if !terminatedReachable {
+		res.violate("RIO: Terminated state unreachable")
+	}
+	return res
+}
+
+// unsoundBlockers drops read→write ordering: a writer no longer waits for
+// earlier readers (only for earlier writers). Mirrors omitting lines 19–20
+// of Algorithm 2.
+func (m *Model) unsoundBlockers() []uint64 {
+	n := len(m.graph.Tasks)
+	out := make([]uint64, n)
+	for t := 0; t < n; t++ {
+		for u := 0; u < t; u++ {
+			if m.blocksUnsound(u, t) {
+				out[t] |= 1 << uint(u)
+			}
+		}
+	}
+	return out
+}
+
+func (m *Model) blocksUnsound(u, t int) bool {
+	for _, at := range m.graph.Tasks[t].Accesses {
+		for _, au := range m.graph.Tasks[u].Accesses {
+			if at.Data != au.Data {
+				continue
+			}
+			if au.Mode.Writes() {
+				return true // reads and writes still wait for earlier writes
+			}
+			// earlier read, t writes: unsoundly ignored
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package spec
+
+// The STF module (paper Appendix B.1): states are (pendingTasks,
+// workerStates); transitions are ExecuteTask (an idle worker starts a
+// ready pending task) and TerminateTask (a busy worker finishes). The
+// checker enumerates every reachable state and verifies:
+//
+//   - DataRaceFreedom — no two concurrently active tasks conflict;
+//   - deadlock-freedom — every non-terminated state has a successor, which
+//     together with weak fairness gives the paper's ◇Terminated property;
+//   - the Terminated state (pending ∪ active = ∅) is reachable.
+
+// stfState is one state of the STF transition system. Workers are
+// symmetric in the STF spec but states are distinguished per worker
+// assignment, exactly as TLC distinguishes them.
+type stfState struct {
+	pending uint64
+	active  [MaxWorkers]int8
+}
+
+func (m *Model) stfInit() stfState {
+	s := stfState{pending: m.all}
+	for w := range s.active {
+		s.active[w] = idle
+	}
+	return s
+}
+
+// stfSuccessors appends every Next-step successor of s to buf.
+func (m *Model) stfSuccessors(s stfState, buf []stfState) []stfState {
+	activeBits, _ := m.activeBits(&s.active)
+	terminated := m.all &^ s.pending &^ activeBits
+	for w := 0; w < m.workers; w++ {
+		if s.active[w] != idle {
+			// TerminateTask(w)
+			n := s
+			n.active[w] = idle
+			buf = append(buf, n)
+			continue
+		}
+		// ExecuteTask(w, t) for every ready pending task t.
+		rest := s.pending
+		for rest != 0 {
+			t := trailingTask(rest)
+			rest &= rest - 1
+			if !m.taskReady(t, terminated) {
+				continue
+			}
+			n := s
+			n.pending &^= 1 << uint(t)
+			n.active[w] = int8(t)
+			buf = append(buf, n)
+		}
+	}
+	return buf
+}
+
+// CheckSTF exhaustively explores the STF model and verifies its invariants.
+func (m *Model) CheckSTF() *Result {
+	res := &Result{}
+	init := m.stfInit()
+	seen := map[stfState]struct{}{init: {}}
+	frontier := []stfState{init}
+	res.Distinct = 1
+	var buf []stfState
+	terminatedReachable := false
+	for len(frontier) > 0 {
+		var next []stfState
+		for _, s := range frontier {
+			activeBits, race := m.activeBits(&s.active)
+			if race {
+				res.violate("STF: data race in state pending=%#x active=%v", s.pending, s.active)
+			}
+			if s.pending == 0 && activeBits == 0 {
+				terminatedReachable = true
+				continue // terminal state
+			}
+			buf = m.stfSuccessors(s, buf[:0])
+			res.Generated += int64(len(buf))
+			if len(buf) == 0 {
+				res.violate("STF: deadlock in state pending=%#x active=%v", s.pending, s.active)
+			}
+			for _, n := range buf {
+				if _, ok := seen[n]; ok {
+					continue
+				}
+				seen[n] = struct{}{}
+				res.Distinct++
+				next = append(next, n)
+			}
+		}
+		frontier = next
+		if len(frontier) > 0 {
+			res.Depth++
+		}
+	}
+	if !terminatedReachable {
+		res.violate("STF: Terminated state unreachable")
+	}
+	return res
+}
+
+// stfReachable returns the set of all reachable STF states (used by the
+// refinement check of the Run-In-Order module).
+func (m *Model) stfReachable() map[stfState]struct{} {
+	init := m.stfInit()
+	seen := map[stfState]struct{}{init: {}}
+	frontier := []stfState{init}
+	var buf []stfState
+	for len(frontier) > 0 {
+		var next []stfState
+		for _, s := range frontier {
+			buf = m.stfSuccessors(s, buf[:0])
+			for _, n := range buf {
+				if _, ok := seen[n]; ok {
+					continue
+				}
+				seen[n] = struct{}{}
+				next = append(next, n)
+			}
+		}
+		frontier = next
+	}
+	return seen
+}
+
+// trailingTask returns the index of the lowest set bit.
+func trailingTask(x uint64) int {
+	return popcount((x & -x) - 1)
+}

@@ -1,0 +1,72 @@
+package spec
+
+import (
+	"fmt"
+	"time"
+
+	"rio/internal/graphs"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// Table1Row is one line of the paper's Table 1: model-checking statistics
+// for the STF and Run-In-Order models on a tiled-LU task flow.
+type Table1Row struct {
+	// Rows and Cols give the LU tile-grid size (2×2, 3×2, 3×3 in the
+	// paper).
+	Rows, Cols int
+	// Name overrides the RxC label for non-LU workloads.
+	Name string
+	// Tasks is the number of tasks of the instance.
+	Tasks int
+	// STF and RIO hold the checking results of each model.
+	STF, RIO *Result
+	// STFTime and RIOTime are the wall-clock checking times.
+	STFTime, RIOTime time.Duration
+}
+
+// Size renders the instance as in the paper ("3x2"), or the workload name
+// for non-LU instances.
+func (r Table1Row) Size() string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return fmt.Sprintf("%dx%d", r.Rows, r.Cols)
+}
+
+// Table1 reproduces the paper's Table 1: for each LU tile-grid size, check
+// the STF model and the Run-In-Order model (with workers workers and a
+// cyclic mapping, matching the paper's two-worker setup) and report state
+// counts and times.
+func Table1(sizes [][2]int, workers int) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(sizes))
+	for _, sz := range sizes {
+		g := graphs.LURect(sz[0], sz[1])
+		row, err := CheckPair(g, workers, sched.Cyclic(workers))
+		if err != nil {
+			return nil, fmt.Errorf("spec: %dx%d: %w", sz[0], sz[1], err)
+		}
+		row.Rows, row.Cols = sz[0], sz[1]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CheckPair checks both the STF and the Run-In-Order models of one task
+// flow under one mapping — Table 1's procedure generalized to arbitrary
+// workloads (the paper only model-checks LU; nothing in the method is
+// LU-specific).
+func CheckPair(g *stf.Graph, workers int, mapping stf.Mapping) (Table1Row, error) {
+	m, err := NewModel(g, workers, mapping)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	row := Table1Row{Tasks: len(g.Tasks)}
+	t0 := time.Now()
+	row.STF = m.CheckSTF()
+	row.STFTime = time.Since(t0)
+	t0 = time.Now()
+	row.RIO = m.CheckRIO(RIOOptions{})
+	row.RIOTime = time.Since(t0)
+	return row, nil
+}

@@ -1,0 +1,96 @@
+package stf_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rio/internal/stf"
+)
+
+// graphFromBytes decodes an arbitrary byte string into a small valid task
+// flow: every 3 bytes define one access (task ID delta, data, mode).
+func graphFromBytes(data []byte) *stf.Graph {
+	const maxData = 6
+	g := stf.NewGraph("fuzz", maxData)
+	var accesses []stf.Access
+	seen := map[stf.DataID]bool{}
+	flush := func(kernel int) {
+		if len(accesses) > 0 || kernel%3 == 0 {
+			g.Add(kernel, 0, 0, 0, accesses...)
+			accesses = nil
+			seen = map[stf.DataID]bool{}
+		}
+	}
+	for i := 0; i+2 < len(data) && len(g.Tasks) < 24; i += 3 {
+		if data[i]%2 == 0 {
+			flush(int(data[i]))
+		}
+		d := stf.DataID(data[i+1] % maxData)
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		mode := []stf.AccessMode{stf.ReadOnly, stf.WriteOnly, stf.ReadWrite, stf.Reduction}[data[i+2]%4]
+		accesses = append(accesses, stf.Access{Data: d, Mode: mode})
+	}
+	flush(0)
+	return g
+}
+
+// FuzzDependencyInvariants checks the structural invariants of dependency
+// derivation on arbitrary task flows: edges only point backwards, levels
+// are consistent, the submission order is always a valid execution order,
+// and the JSON round trip preserves the dependency structure.
+func FuzzDependencyInvariants(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 2, 1, 1, 3, 2, 2, 4, 3, 3})
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 0, 1, 3, 2, 2, 3})
+	f.Add(bytes.Repeat([]byte{5, 1, 2}, 20))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := graphFromBytes(data)
+		if len(g.Tasks) == 0 {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generator produced invalid graph: %v", err)
+		}
+		deps := g.Dependencies()
+		levels, depth := g.Levels()
+		if depth > len(g.Tasks) {
+			t.Fatalf("depth %d > tasks %d", depth, len(g.Tasks))
+		}
+		order := make([]stf.TaskID, len(g.Tasks))
+		for i := range order {
+			order[i] = stf.TaskID(i)
+		}
+		if bad := g.CheckOrder(order); bad != stf.NoTask {
+			t.Fatalf("submission order rejected at %d", bad)
+		}
+		for id, ds := range deps {
+			for _, d := range ds {
+				if d >= stf.TaskID(id) {
+					t.Fatalf("forward edge %d -> %d", d, id)
+				}
+				if levels[d] >= levels[id] {
+					t.Fatalf("level inversion %d -> %d", d, id)
+				}
+				if stf.ConflictFree(&g.Tasks[id], &g.Tasks[d]) {
+					t.Fatalf("dependency between conflict-free tasks %d, %d", d, id)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := stf.ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deps2 := got.Dependencies()
+		for i := range deps {
+			if len(deps[i]) != len(deps2[i]) {
+				t.Fatalf("JSON round trip changed deps of task %d", i)
+			}
+		}
+	})
+}

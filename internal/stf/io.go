@@ -1,0 +1,156 @@
+package stf
+
+// Task-flow import/export: a JSON form for persisting workloads and a
+// Graphviz DOT form for visualizing the derived dependency DAG. Both are
+// used by the cmd/rio-graph inspection tool.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the serialized form of a Graph.
+type jsonGraph struct {
+	Name    string     `json:"name"`
+	NumData int        `json:"num_data"`
+	Tasks   []jsonTask `json:"tasks"`
+}
+
+type jsonTask struct {
+	Kernel   int          `json:"kernel"`
+	I        int          `json:"i,omitempty"`
+	J        int          `json:"j,omitempty"`
+	K        int          `json:"k,omitempty"`
+	Accesses []jsonAccess `json:"accesses,omitempty"`
+}
+
+type jsonAccess struct {
+	Data DataID `json:"data"`
+	Mode string `json:"mode"`
+}
+
+// WriteJSON serializes g.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{Name: g.Name, NumData: g.NumData, Tasks: make([]jsonTask, len(g.Tasks))}
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		jt := jsonTask{Kernel: t.Kernel, I: t.I, J: t.J, K: t.K}
+		for _, a := range t.Accesses {
+			jt.Accesses = append(jt.Accesses, jsonAccess{Data: a.Data, Mode: a.Mode.String()})
+		}
+		jg.Tasks[i] = jt
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// ReadJSON deserializes a graph written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("stf: decoding graph: %w", err)
+	}
+	g := NewGraph(jg.Name, jg.NumData)
+	for i, jt := range jg.Tasks {
+		accesses := make([]Access, 0, len(jt.Accesses))
+		for _, ja := range jt.Accesses {
+			mode, err := parseMode(ja.Mode)
+			if err != nil {
+				return nil, fmt.Errorf("stf: task %d: %w", i, err)
+			}
+			accesses = append(accesses, Access{Data: ja.Data, Mode: mode})
+		}
+		g.Add(jt.Kernel, jt.I, jt.J, jt.K, accesses...)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func parseMode(s string) (AccessMode, error) {
+	switch s {
+	case "R":
+		return ReadOnly, nil
+	case "W":
+		return WriteOnly, nil
+	case "RW":
+		return ReadWrite, nil
+	case "Red":
+		return Reduction, nil
+	}
+	return None, fmt.Errorf("unknown access mode %q", s)
+}
+
+// WriteDOT renders the derived dependency DAG in Graphviz format: one node
+// per task (labelled with ID, kernel and tile coordinates), one edge per
+// direct dependency.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	deps := g.Dependencies()
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.Name); err != nil {
+		return err
+	}
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%d: k%d (%d,%d,%d)\"];\n",
+			t.ID, t.ID, t.Kernel, t.I, t.J, t.K); err != nil {
+			return err
+		}
+	}
+	for id, ds := range deps {
+		for _, d := range ds {
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", d, id); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Summary describes a graph's structure for inspection tools.
+type Summary struct {
+	// Name and counts of the graph.
+	Name    string
+	Tasks   int
+	NumData int
+	// Edges is the number of direct dependencies, Depth the critical-path
+	// length in tasks, MaxWidth the largest dependency level.
+	Edges    int
+	Depth    int
+	MaxWidth int
+	// AvgDeps is Edges / Tasks.
+	AvgDeps float64
+}
+
+// Summarize computes structural statistics of g.
+func (g *Graph) Summarize() Summary {
+	deps := g.Dependencies()
+	levels, depth := g.Levels()
+	edges := 0
+	for _, d := range deps {
+		edges += len(d)
+	}
+	width := make(map[int]int)
+	maxWidth := 0
+	for _, l := range levels {
+		width[l]++
+		if width[l] > maxWidth {
+			maxWidth = width[l]
+		}
+	}
+	s := Summary{
+		Name:     g.Name,
+		Tasks:    len(g.Tasks),
+		NumData:  g.NumData,
+		Edges:    edges,
+		Depth:    depth,
+		MaxWidth: maxWidth,
+	}
+	if len(g.Tasks) > 0 {
+		s.AvgDeps = float64(edges) / float64(len(g.Tasks))
+	}
+	return s
+}

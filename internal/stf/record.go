@@ -1,0 +1,55 @@
+package stf
+
+import "fmt"
+
+// Record captures the *structure* of an STF program — the task flow with
+// its access declarations — without executing any task body. The result
+// can be fed to everything that operates on recorded graphs: dependency
+// analysis, DOT/JSON export, pruning analysis, automatic mapping
+// computation. Because Programs must be deterministic (the decentralized
+// engine replays them), the recorded structure is faithful to what any
+// engine would observe.
+//
+// Closure tasks lose their bodies (the recorded Task carries only the
+// kernel selector RecordedClosure); recorded graphs from Record are
+// therefore for analysis, not re-execution — unless the program was built
+// from recorded tasks in the first place, which are copied verbatim.
+func Record(numData int, prog Program) (*Graph, error) {
+	r := &recorder{g: NewGraph("recorded", numData)}
+	prog(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := r.g.Validate(); err != nil {
+		return nil, err
+	}
+	return r.g, nil
+}
+
+// RecordedClosure is the kernel selector assigned to closure tasks
+// captured by Record.
+const RecordedClosure = -1
+
+type recorder struct {
+	g   *Graph
+	err error
+}
+
+func (r *recorder) Submit(fn TaskFunc, accesses ...Access) TaskID {
+	return r.g.Add(RecordedClosure, 0, 0, 0, accesses...)
+}
+
+func (r *recorder) SubmitTask(t *Task, k Kernel) TaskID {
+	want := TaskID(len(r.g.Tasks))
+	if t.ID != want {
+		if r.err == nil {
+			r.err = fmt.Errorf("stf: cannot record a flow with ID gaps (task %d at position %d); record the unpruned program", t.ID, want)
+		}
+		return t.ID
+	}
+	r.g.Add(t.Kernel, t.I, t.J, t.K, t.Accesses...)
+	return t.ID
+}
+
+func (r *recorder) Worker() WorkerID { return MasterWorker }
+func (r *recorder) NumWorkers() int  { return 1 }

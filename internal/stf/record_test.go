@@ -1,0 +1,90 @@
+package stf_test
+
+import (
+	"testing"
+
+	"rio/internal/graphs"
+	"rio/internal/stf"
+)
+
+func TestRecordClosureProgram(t *testing.T) {
+	ran := false
+	g, err := stf.Record(2, func(s stf.Submitter) {
+		s.Submit(func() { ran = true }, stf.W(0))
+		s.Submit(func() {}, stf.R(0), stf.W(1))
+		s.Submit(func() {}, stf.RW(1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("recording executed a task body")
+	}
+	if len(g.Tasks) != 3 || g.NumData != 2 {
+		t.Fatalf("recorded %d tasks over %d data", len(g.Tasks), g.NumData)
+	}
+	deps := g.Dependencies()
+	if len(deps[1]) != 1 || deps[1][0] != 0 {
+		t.Errorf("task 1 deps = %v", deps[1])
+	}
+	if len(deps[2]) != 1 || deps[2][0] != 1 {
+		t.Errorf("task 2 deps = %v", deps[2])
+	}
+	for i := range g.Tasks {
+		if g.Tasks[i].Kernel != stf.RecordedClosure {
+			t.Errorf("task %d kernel = %d", i, g.Tasks[i].Kernel)
+		}
+	}
+}
+
+func TestRecordPreservesRecordedTasks(t *testing.T) {
+	src := graphs.LU(4)
+	g, err := stf.Record(src.NumData, stf.Replay(src, func(*stf.Task, stf.WorkerID) {
+		t.Fatal("kernel executed during recording")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != len(src.Tasks) {
+		t.Fatalf("recorded %d tasks, want %d", len(g.Tasks), len(src.Tasks))
+	}
+	for i := range src.Tasks {
+		a, b := &src.Tasks[i], &g.Tasks[i]
+		if a.Kernel != b.Kernel || a.I != b.I || a.J != b.J || a.K != b.K {
+			t.Fatalf("task %d metadata mismatch", i)
+		}
+	}
+}
+
+func TestRecordRejectsGaps(t *testing.T) {
+	tk := stf.Task{ID: 5}
+	_, err := stf.Record(0, func(s stf.Submitter) {
+		s.SubmitTask(&tk, func(*stf.Task, stf.WorkerID) {})
+	})
+	if err == nil {
+		t.Error("ID gap accepted during recording")
+	}
+}
+
+func TestRecordValidates(t *testing.T) {
+	_, err := stf.Record(1, func(s stf.Submitter) {
+		s.Submit(func() {}, stf.R(7)) // data out of range
+	})
+	if err == nil {
+		t.Error("invalid accesses accepted")
+	}
+}
+
+func TestRecordSubmitterIdentity(t *testing.T) {
+	_, err := stf.Record(0, func(s stf.Submitter) {
+		if s.Worker() != stf.MasterWorker {
+			t.Errorf("recorder worker = %d", s.Worker())
+		}
+		if s.NumWorkers() != 1 {
+			t.Errorf("recorder NumWorkers = %d", s.NumWorkers())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

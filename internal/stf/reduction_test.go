@@ -1,0 +1,116 @@
+package stf
+
+import "testing"
+
+// Dependency-rule tests for commutative Reduction accesses (§3.4
+// extension): a run of consecutive reductions is ordered like one write
+// against its surroundings, with no edges inside the run.
+
+func TestReductionRunHasNoInternalEdges(t *testing.T) {
+	g := NewGraph("run", 1)
+	g.Add(0, 0, 0, 0, W(0))   // 0: writer
+	g.Add(0, 1, 0, 0, Red(0)) // 1
+	g.Add(0, 2, 0, 0, Red(0)) // 2
+	g.Add(0, 3, 0, 0, Red(0)) // 3
+	deps := g.Dependencies()
+	for _, id := range []TaskID{1, 2, 3} {
+		if got := deps[id]; len(got) != 1 || got[0] != 0 {
+			t.Errorf("reduction %d deps = %v, want [0] only", id, got)
+		}
+	}
+}
+
+func TestReadAfterRunDependsOnWholeRun(t *testing.T) {
+	g := NewGraph("read-after", 1)
+	g.Add(0, 0, 0, 0, Red(0)) // 0
+	g.Add(0, 1, 0, 0, Red(0)) // 1
+	g.Add(0, 2, 0, 0, R(0))   // 2
+	deps := g.Dependencies()
+	if got := deps[2]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("read deps = %v, want [0 1]", got)
+	}
+}
+
+func TestSecondReadAfterRunAlsoDependsOnRun(t *testing.T) {
+	// Reads commute with each other, so the second read cannot rely on
+	// the first one to order it after the run.
+	g := NewGraph("two-reads", 1)
+	g.Add(0, 0, 0, 0, Red(0)) // 0
+	g.Add(0, 1, 0, 0, R(0))   // 1
+	g.Add(0, 2, 0, 0, R(0))   // 2
+	deps := g.Dependencies()
+	if got := deps[2]; len(got) != 1 || got[0] != 0 {
+		t.Errorf("second read deps = %v, want [0]", got)
+	}
+}
+
+func TestWriteAfterRunDependsOnRun(t *testing.T) {
+	g := NewGraph("write-after", 1)
+	g.Add(0, 0, 0, 0, Red(0)) // 0
+	g.Add(0, 1, 0, 0, Red(0)) // 1
+	g.Add(0, 2, 0, 0, W(0))   // 2
+	deps := g.Dependencies()
+	if got := deps[2]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("write deps = %v, want [0 1]", got)
+	}
+}
+
+func TestReadSplitsRuns(t *testing.T) {
+	// red0; read1; red2 — the second run must wait for the read, which
+	// waits for the first run: two distinct runs, transitively ordered.
+	g := NewGraph("split", 1)
+	g.Add(0, 0, 0, 0, Red(0)) // 0
+	g.Add(0, 1, 0, 0, R(0))   // 1
+	g.Add(0, 2, 0, 0, Red(0)) // 2
+	deps := g.Dependencies()
+	if got := deps[1]; len(got) != 1 || got[0] != 0 {
+		t.Errorf("read deps = %v, want [0]", got)
+	}
+	if got := deps[2]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("second run deps = %v, want [1]", got)
+	}
+}
+
+func TestWriteResetsRunState(t *testing.T) {
+	g := NewGraph("reset", 1)
+	g.Add(0, 0, 0, 0, Red(0)) // 0
+	g.Add(0, 1, 0, 0, W(0))   // 1: waits for run
+	g.Add(0, 2, 0, 0, R(0))   // 2: waits for write only
+	deps := g.Dependencies()
+	if got := deps[1]; len(got) != 1 || got[0] != 0 {
+		t.Errorf("write deps = %v, want [0]", got)
+	}
+	if got := deps[2]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("read deps = %v, want [1]", got)
+	}
+}
+
+func TestReductionConflictRules(t *testing.T) {
+	r1 := Task{Accesses: []Access{Red(0)}}
+	r2 := Task{Accesses: []Access{Red(0)}}
+	rd := Task{Accesses: []Access{R(0)}}
+	wr := Task{Accesses: []Access{W(0)}}
+	if !ConflictFree(&r1, &r2) {
+		t.Error("two reductions on the same data must commute (no conflict)")
+	}
+	if ConflictFree(&r1, &rd) {
+		t.Error("reduction and read must conflict")
+	}
+	if ConflictFree(&r1, &wr) {
+		t.Error("reduction and write must conflict")
+	}
+}
+
+func TestCheckOrderAllowsReductionPermutation(t *testing.T) {
+	g := NewGraph("perm", 1)
+	g.Add(0, 0, 0, 0, W(0))   // 0
+	g.Add(0, 1, 0, 0, Red(0)) // 1
+	g.Add(0, 2, 0, 0, Red(0)) // 2
+	g.Add(0, 3, 0, 0, R(0))   // 3
+	if bad := g.CheckOrder([]TaskID{0, 2, 1, 3}); bad != NoTask {
+		t.Errorf("swapped reduction run rejected at %d", bad)
+	}
+	if bad := g.CheckOrder([]TaskID{0, 2, 3, 1}); bad == NoTask {
+		t.Error("read overtaking a reduction accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteChromeTrace exports the recorded spans in the Chrome trace-event
+// format (the JSON array form), loadable in chrome://tracing, Perfetto or
+// speedscope: one complete ("X") event per task span, one row per worker.
+// kernelName optionally labels kernels; nil falls back to "kernel <id>".
+func (r *Recorder) WriteChromeTrace(w io.Writer, kernelName func(int) string) error {
+	type event struct {
+		Name string `json:"name"`
+		Cat  string `json:"cat"`
+		Ph   string `json:"ph"`
+		TS   int64  `json:"ts"`  // microseconds
+		Dur  int64  `json:"dur"` // microseconds
+		PID  int    `json:"pid"`
+		TID  int    `json:"tid"`
+		Args struct {
+			Task int64 `json:"task"`
+		} `json:"args"`
+	}
+	name := kernelName
+	if name == nil {
+		name = func(k int) string { return fmt.Sprintf("kernel %d", k) }
+	}
+	events := make([]event, 0, r.Count())
+	for lane, spans := range r.lanes {
+		for _, s := range spans {
+			ev := event{
+				Name: name(s.Kernel),
+				Cat:  "task",
+				Ph:   "X",
+				TS:   s.Start.Microseconds(),
+				Dur:  (s.End - s.Start).Microseconds(),
+				PID:  1,
+				TID:  lane,
+			}
+			ev.Args.Task = int64(s.Task)
+			events = append(events, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

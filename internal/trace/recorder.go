@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"rio/internal/stf"
+)
+
+// Recorder collects per-task execution spans. The paper (§5.1) notes that
+// dumping full traces at fine granularity perturbs the measurement — the
+// reason its evaluation relies on the aggregate time decomposition
+// instead. The Recorder exists for the *analysis* use case: inspecting a
+// schedule on a moderate workload (Gantt timeline, per-kernel breakdown,
+// critical-path utilization), with its overhead measurable via the
+// BenchmarkTraceOverhead target.
+//
+// Spans are appended to per-worker lanes; each lane is only touched by its
+// worker, so recording is synchronization-free (two time stamps and an
+// append per task).
+type Recorder struct {
+	start time.Time
+	lanes [][]Span
+}
+
+// Span is one recorded task execution.
+type Span struct {
+	// Task is the task's ID, Kernel its kernel selector.
+	Task   stf.TaskID
+	Kernel int
+	// Start and End are offsets from the recorder's epoch.
+	Start, End time.Duration
+}
+
+// NewRecorder returns a recorder with one lane per worker. The epoch is
+// the moment of the call.
+func NewRecorder(workers int) *Recorder {
+	return &Recorder{start: time.Now(), lanes: make([][]Span, workers)}
+}
+
+// Reset clears all lanes and restarts the epoch.
+func (r *Recorder) Reset() {
+	r.start = time.Now()
+	for w := range r.lanes {
+		r.lanes[w] = r.lanes[w][:0]
+	}
+}
+
+// Instrument wraps k so every execution is recorded. Workers with negative
+// IDs (the sequential engine's master) record into lane 0.
+func (r *Recorder) Instrument(k stf.Kernel) stf.Kernel {
+	return func(t *stf.Task, w stf.WorkerID) {
+		lane := int(w)
+		if lane < 0 {
+			lane = 0
+		}
+		s := time.Since(r.start)
+		k(t, w)
+		r.lanes[lane] = append(r.lanes[lane], Span{
+			Task:   t.ID,
+			Kernel: t.Kernel,
+			Start:  s,
+			End:    time.Since(r.start),
+		})
+	}
+}
+
+// Record appends a span directly (for closure tasks instrumented by hand).
+func (r *Recorder) Record(w stf.WorkerID, s Span) {
+	lane := int(w)
+	if lane < 0 {
+		lane = 0
+	}
+	r.lanes[lane] = append(r.lanes[lane], s)
+}
+
+// Spans returns worker w's recorded spans in execution order.
+func (r *Recorder) Spans(w int) []Span { return r.lanes[w] }
+
+// Count returns the total number of recorded spans.
+func (r *Recorder) Count() int {
+	n := 0
+	for _, l := range r.lanes {
+		n += len(l)
+	}
+	return n
+}
+
+// Window returns the earliest start and latest end across all lanes.
+func (r *Recorder) Window() (time.Duration, time.Duration) {
+	first, last := time.Duration(-1), time.Duration(0)
+	for _, lane := range r.lanes {
+		for _, s := range lane {
+			if first < 0 || s.Start < first {
+				first = s.Start
+			}
+			if s.End > last {
+				last = s.End
+			}
+		}
+	}
+	if first < 0 {
+		first = 0
+	}
+	return first, last
+}
+
+// KernelStats aggregates span durations per kernel selector.
+func (r *Recorder) KernelStats() map[int]KernelStat {
+	out := map[int]KernelStat{}
+	for _, lane := range r.lanes {
+		for _, s := range lane {
+			st := out[s.Kernel]
+			st.Count++
+			st.Total += s.End - s.Start
+			if d := s.End - s.Start; d > st.Max {
+				st.Max = d
+			}
+			out[s.Kernel] = st
+		}
+	}
+	return out
+}
+
+// KernelStat is the per-kernel aggregate.
+type KernelStat struct {
+	// Count is the number of executions, Total their summed duration,
+	// Max the longest single execution.
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average execution time.
+func (k KernelStat) Mean() time.Duration {
+	if k.Count == 0 {
+		return 0
+	}
+	return k.Total / time.Duration(k.Count)
+}
+
+// Gantt renders an ASCII timeline: one row per worker, time bucketed into
+// width columns; a bucket shows '#' when the worker spent more than half
+// of it inside tasks, '+' for partially busy, '.' for idle.
+func (r *Recorder) Gantt(w io.Writer, width int) error {
+	if width < 1 {
+		width = 80
+	}
+	first, last := r.Window()
+	span := last - first
+	if span <= 0 {
+		_, err := fmt.Fprintln(w, "(no spans recorded)")
+		return err
+	}
+	bucket := span / time.Duration(width)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	for lane, spans := range r.lanes {
+		busy := make([]time.Duration, width)
+		for _, s := range spans {
+			for b := 0; b < width; b++ {
+				bs := first + time.Duration(b)*bucket
+				be := bs + bucket
+				lo, hi := maxDur(s.Start, bs), minDur(s.End, be)
+				if hi > lo {
+					busy[b] += hi - lo
+				}
+			}
+		}
+		var row strings.Builder
+		for _, d := range busy {
+			switch {
+			case d > bucket/2:
+				row.WriteByte('#')
+			case d > 0:
+				row.WriteByte('+')
+			default:
+				row.WriteByte('.')
+			}
+		}
+		if _, err := fmt.Fprintf(w, "w%-3d |%s|\n", lane, row.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "      0%*s\n", width, last.Round(time.Microsecond))
+	return err
+}
+
+// CriticalPath computes, from the recorded durations and the graph's
+// dependencies, the length of the longest dependency chain (a lower bound
+// on any schedule's makespan with these task durations) and the total work.
+// The ratio work / (p · critical-path) bounds the achievable pipelining
+// efficiency of the task graph itself, independent of any runtime.
+func (r *Recorder) CriticalPath(g *stf.Graph) (critical, work time.Duration) {
+	durs := make([]time.Duration, len(g.Tasks))
+	for _, lane := range r.lanes {
+		for _, s := range lane {
+			if int(s.Task) < len(durs) {
+				durs[s.Task] = s.End - s.Start
+			}
+		}
+	}
+	deps := g.Dependencies()
+	finish := make([]time.Duration, len(g.Tasks))
+	for id := range g.Tasks {
+		var ready time.Duration
+		for _, d := range deps[id] {
+			if finish[d] > ready {
+				ready = finish[d]
+			}
+		}
+		finish[id] = ready + durs[id]
+		if finish[id] > critical {
+			critical = finish[id]
+		}
+		work += durs[id]
+	}
+	return critical, work
+}
+
+// OrderedSpans returns all spans sorted by start time (for exporting).
+func (r *Recorder) OrderedSpans() []Span {
+	var all []Span
+	for _, lane := range r.lanes {
+		all = append(all, lane...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+	return all
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCumulativeSumsWorkers(t *testing.T) {
+	s := &Stats{
+		Workers: []WorkerStats{
+			{Task: 10, Idle: 2, Runtime: 3, Wall: 15},
+			{Task: 8, Idle: 4, Runtime: 3, Wall: 15},
+		},
+		Wall: 15,
+	}
+	task, idle, rt := s.Cumulative()
+	if task != 18 || idle != 6 || rt != 6 {
+		t.Errorf("Cumulative = %v %v %v, want 18 6 6", task, idle, rt)
+	}
+	if s.TotalCumulative() != 30 {
+		t.Errorf("TotalCumulative = %v, want 30", s.TotalCumulative())
+	}
+}
+
+func TestCumulativeAddsTailAsIdle(t *testing.T) {
+	// A worker that finished at 10 while the run lasted 15 contributes 5
+	// units of tail idle time.
+	s := &Stats{
+		Workers: []WorkerStats{{Task: 10, Wall: 10}},
+		Wall:    15,
+	}
+	_, idle, _ := s.Cumulative()
+	if idle != 5 {
+		t.Errorf("tail idle = %v, want 5", idle)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := &Stats{Workers: []WorkerStats{
+		{Executed: 3, Declared: 7},
+		{Executed: 4, Declared: 6},
+	}}
+	if s.Executed() != 7 {
+		t.Errorf("Executed = %d", s.Executed())
+	}
+	if s.Declared() != 13 {
+		t.Errorf("Declared = %d", s.Declared())
+	}
+	if s.NumWorkers() != 2 {
+		t.Errorf("NumWorkers = %d", s.NumWorkers())
+	}
+}
+
+func TestDecomposeSyntheticKernelCase(t *testing.T) {
+	// The paper's synthetic setting: e_g = e_l = 1, so e = e_p · e_r.
+	// Build a run where the numbers are exact: p=2, wall=10; worker time
+	// fully accounted.
+	s := &Stats{
+		Workers: []WorkerStats{
+			{Task: 6, Idle: 2, Runtime: 2, Wall: 10},
+			{Task: 6, Idle: 2, Runtime: 2, Wall: 10},
+		},
+		Wall: 10,
+	}
+	tSeq := time.Duration(12) // t(g) = τ_{p,t}: e_l = 1
+	e := Decompose(tSeq, tSeq, s)
+	if e.Granularity != 1 {
+		t.Errorf("e_g = %v, want 1", e.Granularity)
+	}
+	if e.Locality != 1 {
+		t.Errorf("e_l = %v, want 1", e.Locality)
+	}
+	if want := 12.0 / 16.0; math.Abs(e.Pipelining-want) > 1e-12 {
+		t.Errorf("e_p = %v, want %v", e.Pipelining, want)
+	}
+	if want := 16.0 / 20.0; math.Abs(e.Runtime-want) > 1e-12 {
+		t.Errorf("e_r = %v, want %v", e.Runtime, want)
+	}
+	if want := 12.0 / 20.0; math.Abs(e.Parallel-want) > 1e-12 {
+		t.Errorf("e = %v, want %v", e.Parallel, want)
+	}
+}
+
+// The defining identity of §2.3: the product of the four factors equals the
+// parallel efficiency, for any run whose components are fully accounted.
+func TestDecomposePropertyProductIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(8)
+		wall := time.Duration(1+rng.Intn(1_000_000)) * time.Nanosecond
+		s := &Stats{Wall: wall, Workers: make([]WorkerStats, p)}
+		for w := range s.Workers {
+			task := time.Duration(rng.Int63n(int64(wall)))
+			idle := time.Duration(rng.Int63n(int64(wall - task + 1)))
+			s.Workers[w] = WorkerStats{Task: task, Idle: idle, Runtime: wall - task - idle, Wall: wall}
+		}
+		tBest := time.Duration(1 + rng.Int63n(int64(wall)))
+		tSeq := time.Duration(1 + rng.Int63n(int64(wall)))
+		e := Decompose(tBest, tSeq, s)
+		task, _, _ := s.Cumulative()
+		if task == 0 {
+			return true // degenerate: factors are reported as 0
+		}
+		return math.Abs(e.Product()-e.Parallel) < 1e-9*math.Max(1, e.Parallel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeZeroSafe(t *testing.T) {
+	e := Decompose(0, 0, &Stats{Workers: make([]WorkerStats, 2)})
+	for _, v := range []float64{e.Granularity, e.Locality, e.Pipelining, e.Runtime, e.Parallel} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("degenerate decomposition produced %v", e)
+		}
+	}
+}
+
+func TestEfficiencyString(t *testing.T) {
+	e := Efficiency{Parallel: 0.5, Granularity: 1, Locality: 1, Pipelining: 0.8, Runtime: 0.625}
+	s := e.String()
+	if s == "" || s[0] != 'e' {
+		t.Errorf("String() = %q", s)
+	}
+}

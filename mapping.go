@@ -1,0 +1,86 @@
+package rio
+
+import (
+	"time"
+
+	"rio/internal/sched"
+)
+
+// This file re-exports the static-mapping and task-pruning library
+// (internal/sched) through the public API: the in-order execution model
+// requires the programmer to provide a TaskID → WorkerID mapping (§3.2),
+// and these are the standard ones from the static-scheduling literature.
+
+// BlockMapping splits nTasks tasks into p contiguous chunks.
+func BlockMapping(nTasks, p int) Mapping { return sched.Block(nTasks, p) }
+
+// BlockCyclicMapping distributes blocks of blockSize consecutive tasks
+// round-robin over p workers.
+func BlockCyclicMapping(p, blockSize int) Mapping { return sched.BlockCyclic(p, blockSize) }
+
+// TableMapping returns a mapping backed by a per-task owner table.
+func TableMapping(owners []WorkerID) Mapping { return sched.Table(owners) }
+
+// PartialMapping strips the static owner from the tasks selected by
+// shared; those tasks are claimed dynamically at run time (SharedWorker).
+func PartialMapping(m Mapping, shared func(TaskID) bool) Mapping {
+	return sched.Partial(m, shared)
+}
+
+// Grid2D is a pr×pc process grid for 2-D block-cyclic tile ownership
+// (the ScaLAPACK distribution used for dense linear algebra).
+type Grid2D = sched.Grid2D
+
+// NewGrid2D factors p workers into the squarest possible grid.
+func NewGrid2D(p int) Grid2D { return sched.NewGrid2D(p) }
+
+// OwnerComputesMapping assigns each task of a recorded graph to the owner
+// of the tile it writes (tile coordinates are Task.I/Task.J).
+func OwnerComputesMapping(g *Graph, grid Grid2D) Mapping { return sched.OwnerComputes(g, grid) }
+
+// MappingFromTask precomputes a table mapping by inspecting each recorded
+// task.
+func MappingFromTask(g *Graph, f func(*Task) WorkerID) Mapping { return sched.FromTask(g, f) }
+
+// ValidateMapping checks that m maps every task of g into [0, p).
+func ValidateMapping(g *Graph, m Mapping, p int) error { return sched.Validate(g, m, p) }
+
+// MappingHistogram returns the per-worker task counts of a mapping — a
+// load-balance diagnostic.
+func MappingHistogram(g *Graph, m Mapping, p int) []int { return sched.Histogram(g, m, p) }
+
+// RelevantTasks computes, for each worker, which tasks it must process
+// (execute or declare) under mapping m — the task-pruning analysis of
+// §3.5. Feed the result to PrunedReplay.
+func RelevantTasks(g *Graph, m Mapping, p int) [][]bool { return sched.Relevant(g, m, p) }
+
+// PrunedReplay returns a Program replaying only the tasks relevant to the
+// executing worker. Pruning preserves correctness because a worker still
+// sees every access to every data object it synchronizes on; it removes
+// the decentralized model's per-worker unrolling overhead for everything
+// else.
+func PrunedReplay(g *Graph, k Kernel, relevant [][]bool) Program {
+	return sched.PrunedReplay(g, k, relevant)
+}
+
+// PruneRatio reports the fraction of per-worker bookkeeping eliminated by
+// pruning (0 = nothing, →1 = almost everything).
+func PruneRatio(relevant [][]bool) float64 { return sched.PruneRatio(relevant) }
+
+// AutoMapResult is a computed static schedule: mapping, predicted makespan
+// and per-worker loads.
+type AutoMapResult = sched.AutoMapResult
+
+// AutoMapping computes a static mapping for a recorded graph by list
+// scheduling with per-task duration estimates (nil = unit costs) — the
+// "automatic computation of static mappings" the paper cites as an
+// alternative to programmer-supplied ones.
+func AutoMapping(g *Graph, p int, cost func(*Task) time.Duration) *AutoMapResult {
+	return sched.AutoMap(g, p, cost)
+}
+
+// WeightCost estimates task durations from the recorded weight in Task.K,
+// scaled by perUnit — for use with AutoMapping on weighted workloads.
+func WeightCost(perUnit time.Duration) func(*Task) time.Duration {
+	return sched.WeightCost(perUnit)
+}

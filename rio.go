@@ -1,0 +1,228 @@
+// Package rio is a task-based runtime system for shared-memory machines
+// implementing the Sequential Task Flow (STF) programming model under three
+// interchangeable execution models, following Castes, Agullo, Aumage and
+// Saillard, "Decentralized in-order execution of a sequential task-based
+// code for shared-memory architectures" (Inria RR-9450, 2022):
+//
+//   - InOrder — the paper's contribution: a decentralized, in-order engine
+//     in which every worker replays the whole task flow and a static
+//     mapping assigns each task to its executing worker. Per-task overhead
+//     is a handful of private-memory writes, making very fine-grained
+//     tasks profitable.
+//   - Centralized — the conventional baseline: a master thread unrolls the
+//     task flow, derives dependencies and dispatches ready tasks to worker
+//     queues (out-of-order execution, optional work stealing).
+//   - Sequential — tasks run inline in submission order; the semantic
+//     reference of the STF model.
+//
+// A program is written once against the Submitter interface and can be run
+// unchanged under any engine:
+//
+//	eng, _ := rio.New(rio.Options{Workers: 4, Mapping: rio.CyclicMapping(4)})
+//	err := eng.Run(numData, func(s rio.Submitter) {
+//	    s.Submit(func() { ... }, rio.Read(x), rio.Write(y))
+//	})
+//
+// The decentralized engine replays the program once per worker, so programs
+// must be deterministic: every replay must submit the same tasks with the
+// same accesses in the same order.
+package rio
+
+import (
+	"fmt"
+
+	"rio/internal/centralized"
+	"rio/internal/core"
+	"rio/internal/sequential"
+	"rio/internal/stf"
+	"rio/internal/trace"
+)
+
+// Re-exported programming-model types; see package internal/stf.
+type (
+	// TaskID is a task's position in the task flow.
+	TaskID = stf.TaskID
+	// WorkerID identifies a worker.
+	WorkerID = stf.WorkerID
+	// DataID identifies a runtime-managed data object.
+	DataID = stf.DataID
+	// AccessMode declares how a task accesses a data object.
+	AccessMode = stf.AccessMode
+	// Access pairs a data object with an access mode.
+	Access = stf.Access
+	// Task is a recorded task (allocation-free submission path).
+	Task = stf.Task
+	// Kernel executes recorded tasks.
+	Kernel = stf.Kernel
+	// TaskFunc is a closure task body.
+	TaskFunc = stf.TaskFunc
+	// Submitter receives the task flow of a Program.
+	Submitter = stf.Submitter
+	// Program is a sequential task-based code.
+	Program = stf.Program
+	// Mapping statically assigns tasks to workers (required by the
+	// in-order engine).
+	Mapping = stf.Mapping
+	// Graph is a recorded task flow.
+	Graph = stf.Graph
+	// Stats is the per-run time decomposition (task / idle / runtime).
+	Stats = trace.Stats
+	// Efficiency is the e_g·e_l·e_p·e_r decomposition of §2.3.
+	Efficiency = trace.Efficiency
+)
+
+// Access-mode constants.
+const (
+	// ReadOnly accesses wait for all previous writes.
+	ReadOnly = stf.ReadOnly
+	// WriteOnly accesses wait for all previous reads and writes.
+	WriteOnly = stf.WriteOnly
+	// ReadWrite accesses combine both.
+	ReadWrite = stf.ReadWrite
+	// Reduction accesses commute with each other (a run of consecutive
+	// reductions is ordered like one write against its surroundings, but
+	// its members may execute in any order, serialized by the engine) —
+	// the §3.4 extension beyond strict sequential consistency.
+	Reduction = stf.Reduction
+)
+
+// Read declares a read-only access to d.
+func Read(d DataID) Access { return stf.R(d) }
+
+// Write declares a write-only access to d.
+func Write(d DataID) Access { return stf.W(d) }
+
+// RW declares a read-write access to d.
+func RW(d DataID) Access { return stf.RW(d) }
+
+// Reduce declares a commutative reduction access to d.
+func Reduce(d DataID) Access { return stf.Red(d) }
+
+// Model selects an execution model.
+type Model int
+
+const (
+	// InOrder is the decentralized in-order model (the paper's RIO).
+	InOrder Model = iota
+	// Centralized is the master/worker out-of-order baseline.
+	Centralized
+	// CentralizedWS is Centralized with per-worker queues and work
+	// stealing.
+	CentralizedWS
+	// CentralizedPrio is Centralized with deepest-level-first dispatch
+	// (an online critical-path heuristic).
+	CentralizedPrio
+	// Sequential runs tasks inline on the caller.
+	Sequential
+)
+
+// String names the model as used in reports.
+func (m Model) String() string {
+	switch m {
+	case InOrder:
+		return "rio"
+	case Centralized:
+		return "centralized-fifo"
+	case CentralizedWS:
+		return "centralized-ws"
+	case CentralizedPrio:
+		return "centralized-prio"
+	case Sequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Options configures an engine.
+type Options struct {
+	// Model selects the execution model (InOrder by default).
+	Model Model
+	// Workers is the number of threads. InOrder: all execute tasks.
+	// Centralized: one is the master, Workers-1 execute. Ignored by
+	// Sequential.
+	Workers int
+	// Mapping assigns tasks to workers. Required semantics differ by
+	// model: InOrder treats it as the binding static mapping (defaults to
+	// cyclic); Centralized uses it as a locality hint for work-stealing
+	// queues; Sequential ignores it.
+	Mapping Mapping
+	// Window bounds in-flight tasks in the centralized engine (0 =
+	// unbounded).
+	Window int
+	// SpinLimit is the in-order engine's busy-poll budget before a
+	// dependency wait starts yielding (0 = default).
+	SpinLimit int
+	// NoAccounting disables fine-grained time-stamping (wall time and
+	// task counts remain available).
+	NoAccounting bool
+}
+
+// Runtime executes STF programs under one execution model.
+type Runtime interface {
+	// Run executes prog over numData data objects and blocks until the
+	// whole task flow has executed.
+	Run(numData int, prog Program) error
+	// Stats returns the time decomposition of the last Run.
+	Stats() *Stats
+	// Name identifies the engine ("rio", "centralized-fifo", ...).
+	Name() string
+	// NumWorkers returns the number of threads the engine uses.
+	NumWorkers() int
+}
+
+// New builds a Runtime for the given options.
+func New(o Options) (Runtime, error) {
+	switch o.Model {
+	case InOrder:
+		return core.New(core.Options{
+			Workers:      o.Workers,
+			Mapping:      o.Mapping,
+			NoAccounting: o.NoAccounting,
+			SpinLimit:    o.SpinLimit,
+		})
+	case Centralized, CentralizedWS, CentralizedPrio:
+		kind := centralized.FIFO
+		switch o.Model {
+		case CentralizedWS:
+			kind = centralized.WorkStealing
+		case CentralizedPrio:
+			kind = centralized.Priority
+		}
+		return centralized.New(centralized.Options{
+			Workers:      o.Workers,
+			Scheduler:    kind,
+			Window:       o.Window,
+			Hint:         o.Mapping,
+			NoAccounting: o.NoAccounting,
+		})
+	case Sequential:
+		return sequential.New(sequential.Options{NoAccounting: o.NoAccounting}), nil
+	}
+	return nil, fmt.Errorf("rio: unknown model %v", o.Model)
+}
+
+// CyclicMapping maps task id to worker id mod p — the default mapping of
+// the in-order engine.
+func CyclicMapping(p int) Mapping {
+	return func(id TaskID) WorkerID { return WorkerID(id % TaskID(p)) }
+}
+
+// SharedWorker marks a task as having no static owner in a partial
+// mapping: the in-order engine assigns it dynamically to the first worker
+// whose replay reaches it (one compare-and-swap), trading a little shared
+// state for load balancing — the hybrid the paper's conclusion sketches.
+const SharedWorker = stf.SharedWorker
+
+// Replay returns a Program submitting every task of g with kernel k.
+func Replay(g *Graph, k Kernel) Program { return stf.Replay(g, k) }
+
+// RecordProgram captures a program's task-flow structure (no task bodies
+// run) for analysis: dependency derivation, pruning, automatic mapping,
+// DOT/JSON export.
+func RecordProgram(numData int, prog Program) (*Graph, error) {
+	return stf.Record(numData, prog)
+}
+
+// Decompose computes the efficiency decomposition of a run given the best
+// sequential time and the sequential time at the measured granularity.
+var Decompose = trace.Decompose

@@ -1,0 +1,259 @@
+package rio_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"rio"
+	"rio/internal/enginetest"
+	"rio/internal/graphs"
+	"rio/internal/sched"
+)
+
+func TestNewAllModels(t *testing.T) {
+	for _, m := range []rio.Model{rio.InOrder, rio.Centralized, rio.CentralizedWS, rio.CentralizedPrio, rio.Sequential} {
+		rt, err := rio.New(rio.Options{Model: m, Workers: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if rt.Name() == "" {
+			t.Errorf("%v: empty name", m)
+		}
+	}
+	if _, err := rio.New(rio.Options{Model: rio.Model(99)}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	cases := map[rio.Model]string{
+		rio.InOrder:         "rio",
+		rio.Centralized:     "centralized-fifo",
+		rio.CentralizedWS:   "centralized-ws",
+		rio.CentralizedPrio: "centralized-prio",
+		rio.Sequential:      "sequential",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestAccessHelpers(t *testing.T) {
+	if a := rio.Read(1); a.Mode != rio.ReadOnly {
+		t.Errorf("Read mode = %v", a.Mode)
+	}
+	if a := rio.Write(1); a.Mode != rio.WriteOnly {
+		t.Errorf("Write mode = %v", a.Mode)
+	}
+	if a := rio.RW(1); a.Mode != rio.ReadWrite {
+		t.Errorf("RW mode = %v", a.Mode)
+	}
+}
+
+// The README/quickstart program, as an API-stability test: all engines
+// produce the same result for a closure-based STF program.
+func TestQuickstartProgramAllModels(t *testing.T) {
+	for _, m := range []rio.Model{rio.InOrder, rio.Centralized, rio.CentralizedWS, rio.Sequential} {
+		vals := make([]int64, 3)
+		prog := func(s rio.Submitter) {
+			s.Submit(func() { atomic.StoreInt64(&vals[0], 1) }, rio.Write(0))
+			s.Submit(func() { atomic.StoreInt64(&vals[1], 2) }, rio.Write(1))
+			s.Submit(func() {
+				atomic.StoreInt64(&vals[2], atomic.LoadInt64(&vals[0])+atomic.LoadInt64(&vals[1]))
+			}, rio.Read(0), rio.Read(1), rio.Write(2))
+			s.Submit(func() { atomic.StoreInt64(&vals[2], 10*atomic.LoadInt64(&vals[2])) }, rio.RW(2))
+		}
+		rt, err := rio.New(rio.Options{Model: m, Workers: 2, Mapping: rio.CyclicMapping(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Run(3, prog); err != nil {
+			t.Fatalf("%s: %v", rt.Name(), err)
+		}
+		if got := atomic.LoadInt64(&vals[2]); got != 30 {
+			t.Errorf("%s: z = %d, want 30", rt.Name(), got)
+		}
+	}
+}
+
+// Cross-model equivalence through the public API on the paper's workloads.
+func TestModelsAgreeOnRecordedGraphs(t *testing.T) {
+	for _, g := range []*rio.Graph{
+		graphs.RandomDeps(300, 32, 2, 1, 13),
+		graphs.LU(5),
+		graphs.GEMM(4),
+	} {
+		want, err := enginetest.Golden(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []rio.Model{rio.InOrder, rio.Centralized, rio.CentralizedWS, rio.CentralizedPrio} {
+			rt, err := rio.New(rio.Options{Model: m, Workers: 3, Mapping: rio.CyclicMapping(3)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := enginetest.Run(rt, g)
+			if err != nil {
+				t.Fatalf("%s %s: %v", g.Name, rt.Name(), err)
+			}
+			if err := enginetest.Compare(g, want, got); err != nil {
+				t.Errorf("%s %s: %v", g.Name, rt.Name(), err)
+			}
+		}
+	}
+}
+
+func TestStatsExposedThroughPublicAPI(t *testing.T) {
+	rt, err := rio.New(rio.Options{Model: rio.InOrder, Workers: 2, Mapping: rio.CyclicMapping(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphs.Independent(100)
+	if _, err := enginetest.Run(rt, g); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Executed() != 100 {
+		t.Errorf("executed = %d", st.Executed())
+	}
+	eff := rio.Decompose(st.Wall, st.Wall, st)
+	if eff.Parallel <= 0 {
+		t.Errorf("parallel efficiency = %v", eff.Parallel)
+	}
+}
+
+func TestWindowOptionThroughPublicAPI(t *testing.T) {
+	rt, err := rio.New(rio.Options{Model: rio.Centralized, Workers: 3, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.Check(rt, graphs.LU(5)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplayHelper(t *testing.T) {
+	g := graphs.Independent(10)
+	var n atomic.Int64
+	prog := rio.Replay(g, func(*rio.Task, rio.WorkerID) { n.Add(1) })
+	rt, err := rio.New(rio.Options{Model: rio.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 10 {
+		t.Errorf("kernel ran %d times", n.Load())
+	}
+}
+
+func TestReductionThroughPublicAPI(t *testing.T) {
+	rt, err := rio.New(rio.Options{Model: rio.InOrder, Workers: 3, Mapping: rio.CyclicMapping(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, final int64
+	err = rt.Run(1, func(s rio.Submitter) {
+		for i := 1; i <= 100; i++ {
+			v := int64(i)
+			s.Submit(func() { sum += v }, rio.Reduce(0))
+		}
+		s.Submit(func() { final = sum }, rio.Read(0))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != 5050 {
+		t.Errorf("sum = %d, want 5050", final)
+	}
+}
+
+func TestPartialMappingThroughPublicAPI(t *testing.T) {
+	g := graphs.RandomDeps(200, 16, 2, 1, 9)
+	m := rio.PartialMapping(rio.CyclicMapping(3), func(id rio.TaskID) bool { return id%2 == 0 })
+	rt, err := rio.New(rio.Options{Model: rio.InOrder, Workers: 3, Mapping: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.Check(rt, g); err != nil {
+		t.Fatal(err)
+	}
+	if c := rt.Stats().Claimed(); c != 100 {
+		t.Errorf("claimed = %d, want 100", c)
+	}
+}
+
+func TestSpinLimitOptionThroughPublicAPI(t *testing.T) {
+	rt, err := rio.New(rio.Options{Model: rio.InOrder, Workers: 2, Mapping: rio.CyclicMapping(2), SpinLimit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.Check(rt, graphs.Chain(100)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingHelpersThroughPublicAPI(t *testing.T) {
+	g := graphs.LU(6)
+	p := 4
+	m := rio.OwnerComputesMapping(g, rio.NewGrid2D(p))
+	if err := rio.ValidateMapping(g, m, p); err != nil {
+		t.Fatal(err)
+	}
+	h := rio.MappingHistogram(g, m, p)
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(g.Tasks) {
+		t.Errorf("histogram total = %d, want %d", total, len(g.Tasks))
+	}
+	rel := rio.RelevantTasks(g, m, p)
+	if r := rio.PruneRatio(rel); r < 0 || r >= 1 {
+		t.Errorf("prune ratio = %v", r)
+	}
+	rt, err := rio.New(rio.Options{Model: rio.InOrder, Workers: p, Mapping: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := enginetest.Golden(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := enginetest.RunProgram(rt, g, func(k rio.Kernel) rio.Program {
+		return rio.PrunedReplay(g, k, rel)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.Compare(g, want, got); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockMappingsThroughPublicAPI(t *testing.T) {
+	if w := rio.BlockMapping(10, 2)(9); w != 1 {
+		t.Errorf("BlockMapping(10,2)(9) = %d", w)
+	}
+	if w := rio.BlockCyclicMapping(2, 3)(3); w != 1 {
+		t.Errorf("BlockCyclicMapping(2,3)(3) = %d", w)
+	}
+	if w := rio.TableMapping([]rio.WorkerID{2})(0); w != 2 {
+		t.Errorf("TableMapping(0) = %d", w)
+	}
+}
+
+func TestOwnerComputesThroughPublicAPI(t *testing.T) {
+	g := graphs.Cholesky(5)
+	m := sched.OwnerComputes(g, sched.NewGrid2D(4))
+	rt, err := rio.New(rio.Options{Model: rio.InOrder, Workers: 4, Mapping: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.Check(rt, g); err != nil {
+		t.Error(err)
+	}
+}
