@@ -314,6 +314,41 @@ func BenchmarkPerTaskOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkGuardOverhead measures the per-task price of the
+// replay-divergence guard (a few private multiply-xor steps per submitted
+// task, plus one mutexed checkpoint per 256 tasks): the same empty-body
+// workload with the guard on (the default) and off (NoGuard — the
+// NoAccounting-style opt-out for overhead micro-measurements).
+func BenchmarkGuardOverhead(b *testing.B) {
+	g := graphs.Independent(4096)
+	noop := func(*stf.Task, stf.WorkerID) {}
+	for _, variant := range []struct {
+		name    string
+		noGuard bool
+	}{{"guard=on", false}, {"guard=off", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			rt, err := rio.New(rio.Options{
+				Model:   rio.InOrder,
+				Workers: benchWorkers,
+				Mapping: rio.CyclicMapping(benchWorkers),
+				NoGuard: variant.noGuard,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := rio.Replay(g, noop)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Run(g.NumData, prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(g.Tasks)), "ns/task")
+		})
+	}
+}
+
 // BenchmarkDeclareOverhead measures the paper's headline micro-cost: the
 // per-task price a RIO worker pays for a task it does NOT execute (§3.3
 // promises one or two private-memory writes per dependency). A single

@@ -9,9 +9,16 @@
 // For each instance it reports generated and distinct state counts,
 // checking time, and whether all properties held (data-race freedom,
 // deadlock-freedom/termination, and refinement of STF by Run-In-Order).
+//
+// With -exec N the checker additionally executes each instance N times on
+// the real in-order engine against the sequential-consistency oracle; with
+// -timeout D those executions are bounded and a diverging or wedged run is
+// reported as a structured stall/divergence diagnosis instead of hanging
+// the checker.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +27,8 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"rio"
+	"rio/internal/enginetest"
 	"rio/internal/graphs"
 	"rio/internal/sched"
 	"rio/internal/spec"
@@ -41,15 +50,20 @@ func run(args []string) error {
 	workers := fs.Int("workers", 2, "worker count of the checked models (max 4)")
 	sample := fs.Int("sample", 0, "if > 0, Monte-Carlo sample this many random executions instead of exhaustive enumeration (for instances beyond exhaustive reach)")
 	seed := fs.Int64("seed", 1, "sampling seed")
+	execRuns := fs.Int("exec", 0, "if > 0, additionally execute each instance this many times on the real in-order engine against the sequential-consistency oracle")
+	timeout := fs.Duration("timeout", 0, "bound each -exec run: the run is canceled at the deadline and the stall watchdog (armed at half the timeout) turns a hung run into a stall diagnosis")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *timeout < 0 {
+		return fmt.Errorf("negative -timeout %v", *timeout)
+	}
 	var rows []spec.Table1Row
+	var sizes [][2]int
 	var err error
 	if *workload != "lu" {
 		rows, err = checkWorkload(*workload, *size, *workers, *sample, *seed)
 	} else {
-		var sizes [][2]int
 		sizes, err = parseSizes(*sizesFlag)
 		if err != nil {
 			return err
@@ -88,24 +102,86 @@ func run(args []string) error {
 	} else {
 		fmt.Println("all properties verified: data-race freedom, termination, RIO refines STF")
 	}
+
+	if *execRuns > 0 {
+		type instance struct {
+			name string
+			g    *stf.Graph
+		}
+		var insts []instance
+		if *workload != "lu" {
+			g, err := workloadGraph(*workload, *size, *seed)
+			if err != nil {
+				return err
+			}
+			insts = append(insts, instance{fmt.Sprintf("%s-%d", *workload, *size), g})
+		} else {
+			for _, sz := range sizes {
+				insts = append(insts, instance{fmt.Sprintf("%dx%d", sz[0], sz[1]), graphs.LURect(sz[0], sz[1])})
+			}
+		}
+		for _, in := range insts {
+			if err := execCheck(in.g, *workers, *execRuns, *timeout); err != nil {
+				return fmt.Errorf("%s: real execution: %w", in.name, err)
+			}
+		}
+		fmt.Printf("executed each instance %d time(s) on the in-order engine: sequential consistency verified\n", *execRuns)
+	}
 	return nil
+}
+
+// execCheck runs g on the real in-order engine against the
+// sequential-consistency oracle. A positive timeout bounds each run and
+// arms the stall watchdog at half the budget, so a run that wedges (e.g. a
+// divergent program) surfaces as a stall/divergence diagnosis instead of
+// hanging the checker.
+func execCheck(g *stf.Graph, workers, runs int, timeout time.Duration) error {
+	opts := rio.Options{Model: rio.InOrder, Workers: workers, Mapping: sched.Cyclic(workers)}
+	if timeout > 0 {
+		opts.Timeout = timeout
+		opts.StallTimeout = timeout / 2
+	}
+	rt, err := rio.New(opts)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < runs; i++ {
+		if err := enginetest.Check(rt, g); err != nil {
+			var st *rio.StallError
+			if errors.As(err, &st) {
+				return fmt.Errorf("stall diagnosis: %w", err)
+			}
+			var div *rio.DivergenceError
+			if errors.As(err, &div) {
+				return fmt.Errorf("divergence diagnosis: %w", err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// workloadGraph builds the task flow of one non-LU workload.
+func workloadGraph(workload string, size int, seed int64) (*stf.Graph, error) {
+	switch workload {
+	case "cholesky":
+		return graphs.Cholesky(size), nil
+	case "gemm":
+		return graphs.GEMM(size), nil
+	case "wavefront":
+		return graphs.Wavefront(size, size), nil
+	case "random":
+		return graphs.RandomDeps(size, 4, 1, 1, seed), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
 }
 
 // checkWorkload extends Table 1's procedure to the other workloads of the
 // evaluation.
 func checkWorkload(workload string, size, workers, sample int, seed int64) ([]spec.Table1Row, error) {
-	var g *stf.Graph
-	switch workload {
-	case "cholesky":
-		g = graphs.Cholesky(size)
-	case "gemm":
-		g = graphs.GEMM(size)
-	case "wavefront":
-		g = graphs.Wavefront(size, size)
-	case "random":
-		g = graphs.RandomDeps(size, 4, 1, 1, seed)
-	default:
-		return nil, fmt.Errorf("unknown workload %q", workload)
+	g, err := workloadGraph(workload, size, seed)
+	if err != nil {
+		return nil, err
 	}
 	var row spec.Table1Row
 	if sample > 0 {

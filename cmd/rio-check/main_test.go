@@ -52,3 +52,24 @@ func TestRunRejectsTooManyWorkers(t *testing.T) {
 		t.Error("worker count beyond MaxWorkers accepted")
 	}
 }
+
+func TestRunRealExecution(t *testing.T) {
+	// -exec runs the instance on the real in-order engine under a deadline;
+	// the healthy runs here must complete well inside it.
+	if err := run([]string{"-sizes", "2x2", "-workers", "2", "-exec", "2", "-timeout", "30s"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"-workload", "gemm", "-size", "2", "-exec", "1", "-timeout", "30s"}); err != nil {
+		t.Error(err)
+	}
+	// -exec without -timeout is legal (unbounded, watchdog off).
+	if err := run([]string{"-workload", "wavefront", "-size", "3", "-exec", "1"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunRejectsNegativeTimeout(t *testing.T) {
+	if err := run([]string{"-sizes", "2x2", "-timeout", "-1s"}); err == nil {
+		t.Error("negative -timeout accepted")
+	}
+}

@@ -1,9 +1,11 @@
 package centralized
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rio/internal/stf"
@@ -63,6 +65,20 @@ func (e *Engine) NumWorkers() int { return e.workers }
 // becomes the master (unrolling prog, deriving dependencies, dispatching),
 // while Workers-1 executor goroutines consume ready tasks.
 func (e *Engine) Run(numData int, prog stf.Program) error {
+	return e.RunContext(context.Background(), numData, prog)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled (or its
+// deadline expires) the master stops submitting and dispatching, executors
+// stop picking up ready tasks, and the call returns once the tasks already
+// inside executor bodies have finished. The returned error wraps ctx's
+// cause. Cancellation is cooperative: a task body that never returns keeps
+// RunContext blocked (the in-order engine's stall watchdog has no
+// centralized counterpart — the master already bounds what can stall here).
+func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("centralized: run not started: %w", context.Cause(ctx))
+	}
 	if numData < 0 {
 		return errors.New("centralized: negative numData")
 	}
@@ -84,6 +100,17 @@ func (e *Engine) Run(numData int, prog stf.Program) error {
 		redMu:  make([]sync.Mutex, numData),
 	}
 	m.progress = sync.NewCond(&m.mu)
+	if ctx.Done() != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-ctx.Done():
+				m.cancel(fmt.Errorf("centralized: run canceled: %w", context.Cause(ctx)))
+			case <-stopWatch:
+			}
+		}()
+	}
 
 	type execStats struct {
 		task, idle time.Duration
@@ -102,7 +129,9 @@ func (e *Engine) Run(numData int, prog stf.Program) error {
 			for {
 				t, idle := sched.pop(w)
 				stats[w].idle += idle
-				if t == nil {
+				// On cancellation a popped task is dropped unrun: the
+				// master's drain no longer waits for completion counts.
+				if t == nil || m.canceled.Load() {
 					break
 				}
 				execTask(m, t, stf.WorkerID(w), e.noAcct, &stats[w].task)
@@ -155,7 +184,7 @@ func (e *Engine) Run(numData int, prog stf.Program) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.asyncErr
+	return errors.Join(m.cancelErr, m.asyncErr)
 }
 
 // Stats returns the time decomposition of the last Run.
@@ -174,6 +203,12 @@ type master struct {
 	// guarded by mu.
 	asyncErr error
 
+	// canceled flags a context cancellation; cancelErr (guarded by mu)
+	// carries the wrapped cause. Executors poll the flag between tasks;
+	// the master checks it at every dispatch and inside its waits.
+	canceled  atomic.Bool
+	cancelErr error
+
 	mu        sync.Mutex
 	progress  *sync.Cond
 	inflight  int
@@ -181,6 +216,18 @@ type master struct {
 	completed int64
 
 	idle time.Duration // master time blocked on window or final drain
+}
+
+// cancel aborts the run: the master's window wait and drain are woken and
+// stop waiting, and executors stop picking up tasks.
+func (m *master) cancel(err error) {
+	m.mu.Lock()
+	if m.cancelErr == nil {
+		m.cancelErr = err
+	}
+	m.mu.Unlock()
+	m.canceled.Store(true)
+	m.progress.Broadcast()
 }
 
 // Worker implements stf.Submitter: the master executes no tasks.
@@ -228,11 +275,18 @@ func (m *master) dispatch(t *task, accesses []stf.Access) {
 	}
 	m.mu.Lock()
 	if m.eng.window > 0 {
-		for m.inflight >= m.eng.window {
+		for m.inflight >= m.eng.window && m.cancelErr == nil {
 			t0 := time.Now()
 			m.progress.Wait()
 			m.idle += time.Since(t0)
 		}
+	}
+	if m.cancelErr != nil {
+		// Stop submitting: the sticky error makes the remaining
+		// submissions of the program no-ops.
+		m.err = m.cancelErr
+		m.mu.Unlock()
+		return
 	}
 	m.inflight++
 	m.submitted++
@@ -311,11 +365,12 @@ func insertSorted(s []stf.DataID, d stf.DataID) []stf.DataID {
 	return s
 }
 
-// drain blocks until every submitted task has completed.
+// drain blocks until every submitted task has completed, or the run is
+// canceled (executors then drop the still-queued tasks).
 func (m *master) drain() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for m.completed < m.submitted {
+	for m.completed < m.submitted && m.cancelErr == nil {
 		t0 := time.Now()
 		m.progress.Wait()
 		m.idle += time.Since(t0)

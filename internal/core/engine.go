@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"rio/internal/stf"
@@ -27,6 +27,21 @@ type Options struct {
 	// worker starts yielding to the Go scheduler (and eventually
 	// sleeping). 0 means DefaultSpinLimit.
 	SpinLimit int
+	// StallTimeout arms the stall watchdog: when no task completes for
+	// this long and the workers are provably deadlocked (all blocked in
+	// dependency waits) or stuck inside one task body, the run aborts
+	// with a stf.StallError naming the stuck tasks and data accesses.
+	// 0 disables the watchdog (the default); mere load imbalance never
+	// trips it because completions elsewhere reset the window.
+	StallTimeout time.Duration
+	// NoGuard disables the replay-divergence guard. By default every
+	// worker folds its observed (taskID, accesses) stream into a running
+	// hash (a few arithmetic ops per task, private memory only) and the
+	// end of a run cross-checks the workers; a nondeterministic program
+	// that happens to complete is then reported as a stf.DivergenceError
+	// instead of silently corrupting data. Pruned replays (§3.5) are
+	// exempt automatically. Set NoGuard for overhead micro-measurements.
+	NoGuard bool
 }
 
 // DefaultSpinLimit is the busy-poll budget of dependency waits before the
@@ -38,17 +53,22 @@ const DefaultSpinLimit = 128
 // Engine is a decentralized in-order STF execution engine. An Engine is
 // reusable (Run may be called repeatedly) but not concurrently.
 type Engine struct {
-	workers   int
-	mapping   stf.Mapping
-	noAcct    bool
-	spinLimit int
-	stats     trace.Stats
+	workers      int
+	mapping      stf.Mapping
+	noAcct       bool
+	spinLimit    int
+	stallTimeout time.Duration
+	guard        bool
+	stats        trace.Stats
 }
 
 // New returns a RIO engine for the given options.
 func New(o Options) (*Engine, error) {
 	if o.Workers < 1 {
 		return nil, fmt.Errorf("core: Workers must be >= 1, got %d", o.Workers)
+	}
+	if o.StallTimeout < 0 {
+		return nil, fmt.Errorf("core: negative StallTimeout %v", o.StallTimeout)
 	}
 	m := o.Mapping
 	if m == nil {
@@ -59,7 +79,14 @@ func New(o Options) (*Engine, error) {
 	if sl <= 0 {
 		sl = DefaultSpinLimit
 	}
-	return &Engine{workers: o.Workers, mapping: m, noAcct: o.NoAccounting, spinLimit: sl}, nil
+	return &Engine{
+		workers:      o.Workers,
+		mapping:      m,
+		noAcct:       o.NoAccounting,
+		spinLimit:    sl,
+		stallTimeout: o.StallTimeout,
+		guard:        !o.NoGuard,
+	}, nil
 }
 
 // Name identifies the execution model in reports.
@@ -71,10 +98,27 @@ func (e *Engine) NumWorkers() int { return e.workers }
 // Run executes prog over numData data objects. Every worker replays prog
 // (decentralized task management); the call returns once all workers have
 // finished the whole task flow. Run returns an error if any worker detected
-// a protocol violation (non-monotonic task IDs, mapping out of range) or if
-// a task body panicked — the run then aborts: the panicking worker unwinds
-// and the others stop at their next dependency wait.
+// a protocol violation (non-monotonic task IDs, mapping out of range), if a
+// task body panicked, if the replay-divergence guard found the workers
+// replaying different flows, or if the stall watchdog (when armed) gave up
+// on the run — the run then aborts: the failing worker unwinds and the
+// others stop at their next dependency wait or task submission.
 func (e *Engine) Run(numData int, prog stf.Program) error {
+	return e.RunContext(context.Background(), numData, prog)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled (or its
+// deadline expires), workers blocked in dependency waits unwind promptly
+// and workers between tasks stop submitting; a worker already inside a
+// task body finishes that body first. The returned error wraps ctx's
+// cause. Cancellation is cooperative — a task body that never returns
+// keeps RunContext blocked unless the stall watchdog is armed, in which
+// case the run is abandoned with a StallError after the threshold (the
+// wedged worker goroutine is leaked and the engine must not be reused).
+func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: run not started: %w", context.Cause(ctx))
+	}
 	if numData < 0 {
 		return errors.New("core: negative numData")
 	}
@@ -84,16 +128,26 @@ func (e *Engine) Run(numData int, prog stf.Program) error {
 	}
 
 	claims := newClaimTable()
-	var aborted atomic.Bool
+	abort := &abortState{}
+	var health []workerHealth
+	if e.stallTimeout > 0 {
+		health = make([]workerHealth, e.workers)
+	}
 	subs := make([]*submitter, e.workers)
 	for w := range subs {
 		subs[w] = &submitter{
-			eng:     e,
-			worker:  stf.WorkerID(w),
-			shared:  shared,
-			local:   make([]localState, numData),
-			claims:  claims,
-			aborted: &aborted,
+			eng:    e,
+			worker: stf.WorkerID(w),
+			shared: shared,
+			local:  make([]localState, numData),
+			claims: claims,
+			abort:  abort,
+		}
+		if health != nil {
+			subs[w].health = &health[w]
+		}
+		if e.guard {
+			subs[w].guard = &guardState{}
 		}
 		for d := range subs[w].local {
 			subs[w].local[d].lastRegisteredWrite = int64(stf.NoTask)
@@ -110,22 +164,69 @@ func (e *Engine) Run(numData int, prog stf.Program) error {
 			// A panicking task (or replay closure) must not leave the
 			// other workers blocked on its unfinished dependencies:
 			// record the panic, raise the abort flag (dependency waits
-			// poll it) and unwind this worker.
+			// and submissions poll it) and unwind this worker.
 			defer func() {
 				if r := recover(); r != nil {
-					s.fail(fmt.Errorf("core: panic during replay: %v", r))
-					s.aborted.Store(true)
+					err := fmt.Errorf("core: panic during replay: %v", r)
+					s.fail(err)
+					abort.raise(err, false)
+				}
+				if s.health != nil {
+					s.health.setDone()
 				}
 				s.ws.Wall = time.Since(t0)
 			}()
 			prog(s)
 		}(s)
 	}
-	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				abort.raise(fmt.Errorf("core: run canceled: %w", context.Cause(ctx)), true)
+			case <-done:
+			}
+		}()
+	}
+	var stalled chan *stf.StallError
+	if e.stallTimeout > 0 {
+		stalled = make(chan *stf.StallError, 1)
+		go e.monitor(subs, abort, done, stalled)
+	}
+
+	select {
+	case <-done:
+	case st := <-stalled:
+		// The watchdog aborted the run; give the workers the grace window
+		// to unwind through the abort flag. Only a worker wedged inside a
+		// task body can miss it — then the run is abandoned: the wedged
+		// goroutine leaks and per-worker stats are unavailable (reading
+		// them would race with the leaked goroutine).
+		grace := time.NewTimer(stallGrace)
+		select {
+		case <-done:
+			grace.Stop()
+		case <-grace.C:
+			e.stats = trace.Stats{Workers: make([]trace.WorkerStats, e.workers), Wall: time.Since(start)}
+			return fmt.Errorf("core: run abandoned (a worker is wedged inside a task body and cannot be stopped; do not reuse this engine): %w", st)
+		}
+	}
 	wall := time.Since(start)
 
 	e.stats = trace.Stats{Workers: make([]trace.WorkerStats, e.workers), Wall: wall, Accounted: !e.noAcct}
 	var errs []error
+	if cause, external := abort.state(); external && cause != nil {
+		// Cancellation or watchdog verdict: the root cause is not in any
+		// worker's error slot, so report it first.
+		errs = append(errs, cause)
+	}
+	aborted := 0
 	for w, s := range subs {
 		ws := s.ws
 		if !e.noAcct {
@@ -134,8 +235,22 @@ func (e *Engine) Run(numData int, prog stf.Program) error {
 			}
 		}
 		e.stats.Workers[w] = ws
-		if s.err != nil {
+		switch {
+		case s.err == nil:
+		case errors.Is(s.err, errAborted):
+			// Secondary casualties of the abort: collapsed into one
+			// summary entry below so the originating error stays on top.
+			aborted++
+		default:
 			errs = append(errs, fmt.Errorf("worker %d: %w", w, s.err))
+		}
+	}
+	if aborted > 0 {
+		errs = append(errs, fmt.Errorf("core: %d worker(s) %w", aborted, errAborted))
+	}
+	if len(errs) == 0 {
+		if err := guardVerdict(subs); err != nil {
+			errs = append(errs, fmt.Errorf("core: %w", err))
 		}
 	}
 	return errors.Join(errs...)
@@ -147,19 +262,22 @@ func (e *Engine) Stats() *trace.Stats { return &e.stats }
 // submitter is the per-worker view of the task flow (Algorithm 1). Each
 // worker replays the program against its own submitter.
 type submitter struct {
-	eng     *Engine
-	worker  stf.WorkerID
-	next    stf.TaskID
-	shared  []sharedState
-	local   []localState
-	claims  *claimTable
-	aborted *atomic.Bool
-	ws      trace.WorkerStats
-	err     error
+	eng    *Engine
+	worker stf.WorkerID
+	next   stf.TaskID
+	shared []sharedState
+	local  []localState
+	claims *claimTable
+	abort  *abortState
+	health *workerHealth // nil unless the stall watchdog is armed
+	guard  *guardState   // nil when the divergence guard is disabled
+	ws     trace.WorkerStats
+	err    error
 }
 
-// errAborted marks workers stopped because another worker panicked.
-var errAborted = errors.New("core: run aborted after a panic on another worker")
+// errAborted marks workers stopped because the run aborted on another
+// worker (panic, protocol violation, cancellation or watchdog).
+var errAborted = errors.New("aborted after a failure elsewhere in the run")
 
 // owns resolves the executor of task id for this worker: statically via
 // the mapping, or dynamically (first-to-reach claim) for SharedWorker
@@ -177,7 +295,12 @@ func (s *submitter) owns(id stf.TaskID) (execute, ok bool) {
 		}
 		return false, true
 	case owner < 0 || int(owner) >= s.eng.workers:
-		s.fail(fmt.Errorf("core: mapping(%d) = %d out of range [0,%d)", id, owner, s.eng.workers))
+		err := fmt.Errorf("core: mapping(%d) = %d out of range [0,%d)", id, owner, s.eng.workers)
+		s.fail(err)
+		// Every worker evaluates the same deterministic mapping, but a
+		// worker may be blocked on this task's data rather than reach
+		// this point itself — raise the abort so nobody waits forever.
+		s.abort.raise(err, false)
 		return false, false
 	default:
 		return false, true
@@ -203,8 +326,15 @@ func (s *submitter) Submit(fn stf.TaskFunc, accesses ...stf.Access) stf.TaskID {
 // contract touch no data this worker ever synchronizes on.
 func (s *submitter) SubmitTask(t *stf.Task, k stf.Kernel) stf.TaskID {
 	if t.ID < s.next {
-		s.fail(fmt.Errorf("core: task ID %d submitted after ID %d (task flow must be replayed in order)", t.ID, s.next-1))
+		err := fmt.Errorf("core: task ID %d submitted after ID %d (task flow must be replayed in order)", t.ID, s.next-1)
+		s.fail(err)
+		s.abort.raise(err, false)
 		return t.ID
+	}
+	if t.ID > s.next && s.guard != nil {
+		// A pruned flow: per-worker streams legitimately differ, so the
+		// cross-worker divergence check does not apply.
+		s.guard.markGap()
 	}
 	s.submitRecorded(t, k)
 	return t.ID
@@ -214,14 +344,21 @@ func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
 	if s.err != nil {
 		return
 	}
+	if s.abort.raised() {
+		s.fail(errAborted)
+		return
+	}
 	id := t.ID
 	s.next = id + 1
+	if s.guard != nil {
+		s.guard.fold(id, t.Accesses)
+	}
 	execute, ok := s.owns(id)
 	if !ok {
 		return
 	}
 	if execute {
-		s.acquire(t.Accesses)
+		s.acquire(id, t.Accesses)
 		if s.err != nil {
 			return // aborted while waiting
 		}
@@ -241,6 +378,10 @@ func (s *submitter) execLocked(accesses []stf.Access, id int64, run func()) {
 	if s.lockReductions(accesses) {
 		defer s.unlockReductions(accesses)
 	}
+	if h := s.health; h != nil {
+		h.setExec(id)
+		defer h.endExec()
+	}
 	if s.eng.noAcct {
 		run()
 	} else {
@@ -255,13 +396,20 @@ func (s *submitter) submit(id stf.TaskID, accesses []stf.Access, run func()) {
 	if s.err != nil {
 		return
 	}
+	if s.abort.raised() {
+		s.fail(errAborted)
+		return
+	}
 	s.next = id + 1
+	if s.guard != nil {
+		s.guard.fold(id, accesses)
+	}
 	execute, ok := s.owns(id)
 	if !ok {
 		return
 	}
 	if execute {
-		s.acquire(accesses)
+		s.acquire(id, accesses)
 		if s.err != nil {
 			return // aborted while waiting
 		}
@@ -284,7 +432,8 @@ func (s *submitter) fail(err error) {
 // executed. Each composite condition is waited for piecewise; every piece
 // is stable once true, because any task that could perturb it was
 // registered after the current one and therefore transitively waits on it.
-func (s *submitter) acquire(accesses []stf.Access) {
+// id is the acquiring task, threaded through for stall diagnosis.
+func (s *submitter) acquire(id stf.TaskID, accesses []stf.Access) {
 	for _, a := range accesses {
 		sh := &s.shared[a.Data]
 		lo := &s.local[a.Data]
@@ -292,23 +441,23 @@ func (s *submitter) acquire(accesses []stf.Access) {
 		case a.Mode.Writes():
 			// get_write: previous writes, then reads, then reductions.
 			if !lo.writeReady(sh) {
-				s.wait(func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-				s.wait(func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
-				s.wait(func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
+				s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+				s.wait(id, a, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
+				s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
 			}
 		case a.Mode.Commutes():
 			// get_red: previous writes, reads, and earlier-run
 			// reductions; members of the own run commute.
 			if !lo.redReady(sh) {
-				s.wait(func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-				s.wait(func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
-				s.wait(func() bool { return sh.nbRedsSinceWrite.Load() >= lo.nbRedsBeforeRun })
+				s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+				s.wait(id, a, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
+				s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() >= lo.nbRedsBeforeRun })
 			}
 		default:
 			// get_read: previous writes and reductions.
 			if !lo.readReady(sh) {
-				s.wait(func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-				s.wait(func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
+				s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+				s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
 			}
 		}
 	}

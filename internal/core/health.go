@@ -1,0 +1,394 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rio/internal/stf"
+)
+
+// Run hardening: the paper's protocol trusts the program — a
+// nondeterministic replay, an out-of-range mapping or a task that never
+// finishes would silently wedge every worker inside a dependency wait.
+// This file adds the three defenses that turn such a hang into a prompt,
+// descriptive error:
+//
+//   - abortState: a shared run-abort latch with a recorded first cause,
+//     raised by panics, protocol violations, context cancellation and the
+//     watchdog; dependency waits poll it in their sleep phase and unwind.
+//   - workerHealth: per-worker published execution state (waiting on which
+//     task/data, executing which task, done) plus a completion counter,
+//     maintained only when the watchdog is armed.
+//   - the stall watchdog: a monitor goroutine that distinguishes global
+//     deadlock (all live workers blocked, nothing completing) from mere
+//     imbalance (completions still happening), and from a stuck task
+//     (a body overrunning the threshold), and aborts with a StallError.
+//   - guardState: the replay-divergence guard — each worker folds its
+//     observed (taskID, accesses) stream into a running hash with periodic
+//     checkpoints, so diverging replays are reported as a DivergenceError
+//     instead of a silent hang or corruption.
+
+// abortState is the run-wide abort latch. The flag is polled by dependency
+// waits (and once per task submission); the first recorded cause wins.
+type abortState struct {
+	flag atomic.Bool
+	mu   sync.Mutex
+	// cause is the first error that aborted the run. external records
+	// whether it originated outside any worker's own error slot (context
+	// cancellation, watchdog) and must therefore be reported separately.
+	cause    error
+	external bool
+}
+
+// raised reports whether the run is aborting.
+func (a *abortState) raised() bool { return a.flag.Load() }
+
+// raise aborts the run with err as the cause if none was recorded yet.
+// external marks causes that are not already recorded in a worker's err.
+func (a *abortState) raise(err error, external bool) {
+	a.mu.Lock()
+	if a.cause == nil {
+		a.cause = err
+		a.external = external
+	}
+	a.mu.Unlock()
+	a.flag.Store(true)
+}
+
+// state returns the recorded cause.
+func (a *abortState) state() (cause error, external bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cause, a.external
+}
+
+// Worker phases published for the watchdog.
+const (
+	phaseReplay int32 = iota // unrolling the flow (submitting / declaring)
+	phaseExec                // inside a task body
+	phaseWait                // blocked in a dependency wait (slow phase)
+	phaseDone                // replay finished, worker returned
+)
+
+// workerHealth is one worker's published execution state, read by the
+// watchdog monitor. All fields are atomics because the owning worker
+// writes them while the monitor reads them; the trailing pad keeps
+// adjacent workers' health words on separate cache lines.
+type workerHealth struct {
+	phase    atomic.Int32
+	mode     atomic.Int32
+	task     atomic.Int64
+	data     atomic.Int64
+	since    atomic.Int64 // UnixNano of the last phase change to exec/wait
+	executed atomic.Int64 // tasks completed by this worker
+	_        [24]byte
+}
+
+func (h *workerHealth) setExec(id int64) {
+	h.task.Store(id)
+	h.since.Store(time.Now().UnixNano())
+	h.phase.Store(phaseExec)
+}
+
+func (h *workerHealth) endExec() {
+	h.executed.Add(1)
+	h.phase.Store(phaseReplay)
+}
+
+func (h *workerHealth) setWait(id stf.TaskID, a stf.Access) {
+	h.task.Store(int64(id))
+	h.data.Store(int64(a.Data))
+	h.mode.Store(int32(a.Mode))
+	h.since.Store(time.Now().UnixNano())
+	h.phase.Store(phaseWait)
+}
+
+func (h *workerHealth) setReplay() { h.phase.Store(phaseReplay) }
+func (h *workerHealth) setDone()   { h.phase.Store(phaseDone) }
+
+// guardStride is the checkpoint period of the divergence guard: every
+// stride tasks, a worker commits its running stream hash to a shared
+// checkpoint list (under a mutex, amortized over the stride).
+const guardStride = 256
+
+// guardState is one worker's replay-divergence guard. The hot-path fields
+// (count, hash, gapSeen) are private to the worker; the mutexed section is
+// the committed view the watchdog may read mid-run: the checkpoint trail
+// plus the latest committed (count, hash) head, refreshed at every
+// checkpoint and whenever the worker enters a slow dependency wait.
+type guardState struct {
+	count   int64  // tasks folded so far
+	hash    uint64 // running stream hash
+	gapSeen bool   // worker-local fast mirror of sawGap
+
+	// sawGap records that the replay skipped IDs (a pruned flow, §3.5):
+	// per-worker streams then differ legitimately and the cross-worker
+	// check is disabled.
+	sawGap atomic.Bool
+
+	mu        sync.Mutex
+	marks     []uint64 // hash checkpoints, one per guardStride tasks
+	headCount int64    // committed stream position
+	headHash  uint64   // committed stream hash at headCount
+}
+
+// mix64 is a splitmix64-style non-commutative combiner.
+func mix64(a, b uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 + b + 0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0x94D049BB133111EB
+	x ^= x >> 27
+	return x
+}
+
+// fold absorbs one observed task (ID and access list) into the stream
+// hash. This is the guard's whole per-task cost: a few multiply-xor steps
+// in private memory, plus one mutexed checkpoint per guardStride tasks.
+func (g *guardState) fold(id stf.TaskID, accesses []stf.Access) {
+	h := mix64(g.hash, uint64(id))
+	for _, a := range accesses {
+		h = mix64(h, uint64(a.Data)<<8|uint64(a.Mode))
+	}
+	g.hash = h
+	g.count++
+	if g.count%guardStride == 0 {
+		g.mu.Lock()
+		g.marks = append(g.marks, h)
+		g.headCount = g.count
+		g.headHash = h
+		g.mu.Unlock()
+	}
+}
+
+// markGap records that this worker's replay skipped task IDs.
+func (g *guardState) markGap() {
+	if !g.gapSeen {
+		g.gapSeen = true
+		g.sawGap.Store(true)
+	}
+}
+
+// commitHead publishes the worker's exact stream position; called when the
+// worker parks in a slow dependency wait, so a deadlock diagnosis can
+// compare the stalled workers' positions.
+func (g *guardState) commitHead() {
+	g.mu.Lock()
+	g.headCount = g.count
+	g.headHash = g.hash
+	g.mu.Unlock()
+}
+
+// committed returns the checkpoint trail and head under the lock.
+func (g *guardState) committed() (marks []uint64, headCount int64, headHash uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]uint64(nil), g.marks...), g.headCount, g.headHash
+}
+
+// divergencePrefix compares the committed checkpoint trails and heads of
+// all workers and returns a DivergenceError if any two provably disagree —
+// safe to call mid-run (it reads only committed state). Pruned flows (any
+// worker with an ID gap) are exempt: their streams differ by design.
+// Returns nil when the guard is off or no divergence is provable.
+func divergencePrefix(subs []*submitter) *stf.DivergenceError {
+	if len(subs) < 2 || subs[0].guard == nil {
+		return nil
+	}
+	trails := make([][]uint64, len(subs))
+	headCounts := make([]int64, len(subs))
+	headHashes := make([]uint64, len(subs))
+	minLen := -1
+	for i, s := range subs {
+		if s.guard.sawGap.Load() {
+			return nil
+		}
+		trails[i], headCounts[i], headHashes[i] = s.guard.committed()
+		if minLen < 0 || len(trails[i]) < minLen {
+			minLen = len(trails[i])
+		}
+	}
+	// Two workers disagreeing on the same checkpoint prove a divergence
+	// inside that stride.
+	for m := 0; m < minLen; m++ {
+		for i := 1; i < len(trails); i++ {
+			if trails[i][m] != trails[0][m] {
+				lo := stf.TaskID(m * guardStride)
+				return &stf.DivergenceError{Window: [2]stf.TaskID{lo, lo + guardStride}}
+			}
+		}
+	}
+	// Two workers parked at the same stream position with different
+	// hashes prove a divergence since their last agreeing checkpoint.
+	for i := range subs {
+		for j := i + 1; j < len(subs); j++ {
+			if headCounts[i] > 0 && headCounts[i] == headCounts[j] && headHashes[i] != headHashes[j] {
+				lo := min(len(trails[i]), len(trails[j])) * guardStride
+				return &stf.DivergenceError{Window: [2]stf.TaskID{stf.TaskID(lo), stf.TaskID(headCounts[i])}}
+			}
+		}
+	}
+	return nil
+}
+
+// guardVerdict is the end-of-run cross-worker divergence check: with all
+// workers finished (so their private guard fields are safely readable), it
+// verifies that every worker folded the same stream. Pruned replays
+// legitimately differ per worker (the pruning contract covers their
+// safety), so any worker that skipped IDs disables the check — and since a
+// trailing prune produces no observable gap, differing task *counts* alone
+// are never reported; only equal-length streams with differing hashes (or
+// differing checkpoints within the common prefix) are provable divergence.
+func guardVerdict(subs []*submitter) error {
+	if len(subs) < 2 || subs[0].guard == nil {
+		return nil
+	}
+	base := subs[0].guard
+	counts := make([]int64, len(subs))
+	equalStreams := true
+	for i, s := range subs {
+		g := s.guard
+		if g.gapSeen {
+			return nil
+		}
+		counts[i] = g.count
+		if g.count != base.count || g.hash != base.hash {
+			equalStreams = false
+		}
+	}
+	if equalStreams {
+		return nil
+	}
+	if div := divergencePrefix(subs); div != nil {
+		div.Counts = counts
+		return div
+	}
+	// Same-length streams with different hashes: divergence in the
+	// uncheckpointed tail.
+	allSameCount := true
+	for _, c := range counts {
+		if c != counts[0] {
+			allSameCount = false
+		}
+	}
+	if allSameCount {
+		common := -1
+		for _, s := range subs {
+			marks, _, _ := s.guard.committed()
+			if common < 0 || len(marks) < common {
+				common = len(marks)
+			}
+		}
+		return &stf.DivergenceError{
+			Window: [2]stf.TaskID{stf.TaskID(common * guardStride), stf.TaskID(counts[0])},
+			Counts: counts,
+		}
+	}
+	// Differing counts without an observed gap are indistinguishable from
+	// a trailing prune: not provable, stay silent.
+	return nil
+}
+
+// stallGrace is how long Run waits, after the watchdog has aborted the
+// run, for the workers to unwind before giving up on them. Workers blocked
+// in dependency waits poll the abort flag within at most ~100µs sleeps, so
+// this is generous; only a worker wedged inside a task body can miss it.
+const stallGrace = 500 * time.Millisecond
+
+// monitor is the stall watchdog goroutine. It watches the global
+// completion count; when no task completes for the configured threshold it
+// inspects the published worker states and, if they prove a deadlock or a
+// stuck task (rather than mere imbalance or a long replay), aborts the run
+// with a StallError and delivers the diagnosis on stalled.
+func (e *Engine) monitor(subs []*submitter, abort *abortState, done <-chan struct{}, stalled chan<- *stf.StallError) {
+	threshold := e.stallTimeout
+	tick := threshold / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	lastSum := int64(-1)
+	lastProgress := time.Now()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		if abort.raised() {
+			// The run is already failing for another reason; the workers
+			// unwind through the same flag the watchdog would have raised.
+			return
+		}
+		var sum int64
+		for _, s := range subs {
+			sum += s.health.executed.Load()
+			// A worker finishing its replay is progress too.
+			if s.health.phase.Load() == phaseDone {
+				sum++
+			}
+		}
+		if sum != lastSum {
+			lastSum = sum
+			lastProgress = time.Now()
+			continue
+		}
+		if time.Since(lastProgress) < threshold {
+			continue
+		}
+
+		now := time.Now()
+		st := &stf.StallError{Threshold: threshold}
+		allBlockedOrDone := true
+		longBusy := false
+		for w, s := range subs {
+			h := s.health
+			switch h.phase.Load() {
+			case phaseDone:
+				st.Done = append(st.Done, stf.WorkerID(w))
+			case phaseWait:
+				st.Stalled = append(st.Stalled, stf.StalledWorker{
+					Worker: stf.WorkerID(w),
+					Task:   stf.TaskID(h.task.Load()),
+					Data:   stf.DataID(h.data.Load()),
+					Mode:   stf.AccessMode(h.mode.Load()),
+					For:    now.Sub(time.Unix(0, h.since.Load())),
+				})
+			case phaseExec:
+				allBlockedOrDone = false
+				busyFor := now.Sub(time.Unix(0, h.since.Load()))
+				if busyFor >= threshold {
+					longBusy = true
+				}
+				st.Busy = append(st.Busy, stf.BusyWorker{
+					Worker: stf.WorkerID(w),
+					Task:   stf.TaskID(h.task.Load()),
+					For:    busyFor,
+				})
+			default:
+				// Actively unrolling the flow: not conclusive, keep
+				// watching.
+				allBlockedOrDone = false
+			}
+		}
+		switch {
+		case len(st.Stalled) > 0 && allBlockedOrDone:
+			st.Kind = stf.Deadlock
+		case longBusy:
+			st.Kind = stf.StuckTask
+		default:
+			// Completions may merely be rare (long declare stretches, a
+			// task just under the threshold): not provably stalled.
+			continue
+		}
+		st.Divergence = divergencePrefix(subs)
+		abort.raise(st, true)
+		stalled <- st
+		return
+	}
+}

@@ -3,10 +3,14 @@ package core
 import (
 	"runtime"
 	"time"
+
+	"rio/internal/stf"
 )
 
 // wait blocks until cond() holds, accounting the elapsed time as idle time
-// (τ_{p,i}) when accounting is enabled.
+// (τ_{p,i}) when accounting is enabled. id and a identify the acquiring
+// task and the unsatisfied data access, published for the stall watchdog
+// once the wait turns slow.
 //
 // The wait escalates in three phases, trading latency for CPU use:
 //
@@ -15,10 +19,13 @@ import (
 //  2. poll with runtime.Gosched() — lets the producing goroutine run when
 //     goroutines are multiplexed on fewer hardware threads;
 //  3. poll with exponentially growing sleeps capped at maxSleep — bounds
-//     CPU waste on long waits without risking livelock.
+//     CPU waste on long waits without risking livelock. On entry to this
+//     phase the worker publishes what it is stuck on (watchdog armed
+//     runs only), and each iteration polls the run-abort flag so that a
+//     dependency held by a failed worker cannot block forever.
 //
 // cond must read shared state with atomic loads; it is called repeatedly.
-func (s *submitter) wait(cond func() bool) {
+func (s *submitter) wait(id stf.TaskID, a stf.Access, cond func() bool) {
 	if cond() {
 		return
 	}
@@ -27,6 +34,7 @@ func (s *submitter) wait(cond func() bool) {
 		t0 = time.Now()
 	}
 	spin := 0
+	published := false
 	const yieldPhase = 1024
 	const maxSleep = 100 * time.Microsecond
 	sleep := time.Microsecond
@@ -38,9 +46,21 @@ func (s *submitter) wait(cond func() bool) {
 		case spin < s.eng.spinLimit+yieldPhase:
 			runtime.Gosched()
 		default:
-			// A dependency held by a panicked worker will never
-			// resolve; bail out once the run is aborting.
-			if s.aborted.Load() {
+			if !published && s.health != nil {
+				// The wait is officially slow: publish which task and
+				// which access this worker is stuck on, and commit the
+				// guard head so a deadlock diagnosis can compare the
+				// stalled workers' replay positions.
+				s.health.setWait(id, a)
+				if s.guard != nil {
+					s.guard.commitHead()
+				}
+				published = true
+			}
+			// A dependency held by a failed (panicked, canceled,
+			// stalled) worker will never resolve; bail out once the run
+			// is aborting.
+			if s.abort.raised() {
 				s.fail(errAborted)
 				break
 			}
@@ -52,6 +72,9 @@ func (s *submitter) wait(cond func() bool) {
 		if s.err != nil {
 			break
 		}
+	}
+	if published {
+		s.health.setReplay()
 	}
 	if !s.eng.noAcct {
 		s.ws.Idle += time.Since(t0)

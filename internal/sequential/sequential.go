@@ -7,6 +7,7 @@
 package sequential
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -39,10 +40,24 @@ func (e *Engine) NumWorkers() int { return 1 }
 
 // Run executes prog, running each submitted task immediately.
 func (e *Engine) Run(numData int, prog stf.Program) error {
+	return e.RunContext(context.Background(), numData, prog)
+}
+
+// RunContext is Run with cancellation: the cancellation flag is checked
+// before each task, so a canceled run stops at the next task boundary and
+// returns an error wrapping ctx's cause (the task already executing runs
+// to completion — cancellation is cooperative).
+func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sequential: run not started: %w", context.Cause(ctx))
+	}
 	if numData < 0 {
 		return errors.New("sequential: negative numData")
 	}
 	s := &submitter{noAcct: e.noAcct}
+	if ctx.Done() != nil {
+		s.ctx = ctx
+	}
 	t0 := time.Now()
 	prog(s)
 	wall := time.Since(t0)
@@ -62,6 +77,7 @@ func (e *Engine) Stats() *trace.Stats { return &e.stats }
 type submitter struct {
 	next   stf.TaskID
 	noAcct bool
+	ctx    context.Context // non-nil only for cancelable runs
 	ws     trace.WorkerStats
 	err    error
 }
@@ -96,6 +112,10 @@ func (s *submitter) SubmitTask(t *stf.Task, k stf.Kernel) stf.TaskID {
 
 func (s *submitter) run(f func()) {
 	if s.err != nil {
+		return
+	}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.err = fmt.Errorf("sequential: run canceled: %w", context.Cause(s.ctx))
 		return
 	}
 	// A panicking task fails the run but does not unwind the caller

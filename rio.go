@@ -29,7 +29,9 @@
 package rio
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"rio/internal/centralized"
 	"rio/internal/core"
@@ -69,6 +71,30 @@ type (
 	Stats = trace.Stats
 	// Efficiency is the e_g·e_l·e_p·e_r decomposition of §2.3.
 	Efficiency = trace.Efficiency
+
+	// StallError is the stall watchdog's structured diagnosis: no task
+	// completed for Options.StallTimeout and the error names which
+	// workers are stuck on which tasks and data accesses (use errors.As).
+	StallError = stf.StallError
+	// StalledWorker is one blocked worker inside a StallError.
+	StalledWorker = stf.StalledWorker
+	// BusyWorker is one task-executing worker inside a StallError.
+	BusyWorker = stf.BusyWorker
+	// StallKind distinguishes a global deadlock from a stuck task.
+	StallKind = stf.StallKind
+	// DivergenceError reports that the in-order engine's workers did not
+	// replay the same task flow (the program is nondeterministic).
+	DivergenceError = stf.DivergenceError
+)
+
+// Stall kinds reported by the watchdog.
+const (
+	// Deadlock: every live worker blocked in a dependency wait, nothing
+	// completing — the signature of a divergent replay.
+	Deadlock = stf.Deadlock
+	// StuckTask: a task body overran the watchdog threshold while nothing
+	// else completed.
+	StuckTask = stf.StuckTask
 )
 
 // Access-mode constants.
@@ -155,13 +181,40 @@ type Options struct {
 	// NoAccounting disables fine-grained time-stamping (wall time and
 	// task counts remain available).
 	NoAccounting bool
+	// Timeout, when positive, bounds every Run/RunContext call: the run
+	// is canceled when the deadline expires, as if the caller had passed
+	// a context with that timeout. A convenience over RunContext.
+	Timeout time.Duration
+	// StallTimeout arms the in-order engine's stall watchdog: when no
+	// task completes for this long and the workers are provably
+	// deadlocked (all blocked in dependency waits — the signature of a
+	// nondeterministic replay) or stuck inside one task body, the run
+	// aborts with a StallError naming the stuck tasks and data accesses.
+	// 0 (the default) disables the watchdog; load imbalance never trips
+	// it. Other engines ignore it.
+	StallTimeout time.Duration
+	// NoGuard disables the in-order engine's replay-divergence guard
+	// (a few private arithmetic ops per task that detect nondeterministic
+	// programs; see DESIGN.md "Failure semantics"). Other engines have no
+	// replay to guard and ignore it.
+	NoGuard bool
 }
 
 // Runtime executes STF programs under one execution model.
 type Runtime interface {
 	// Run executes prog over numData data objects and blocks until the
-	// whole task flow has executed.
+	// whole task flow has executed. It returns an error — rather than
+	// hanging or corrupting data — when a task panics, a protocol
+	// violation is detected (out-of-range mapping, non-monotonic IDs),
+	// the replay diverges across workers (in-order engine), or the stall
+	// watchdog gives up on the run (see Options.StallTimeout).
 	Run(numData int, prog Program) error
+	// RunContext is Run with cancellation: when ctx is canceled or its
+	// deadline expires, workers blocked inside the runtime unwind
+	// promptly, no further tasks start, and the call returns an error
+	// wrapping ctx's cause. Cancellation is cooperative — task bodies
+	// already running finish first.
+	RunContext(ctx context.Context, numData int, prog Program) error
 	// Stats returns the time decomposition of the last Run.
 	Stats() *Stats
 	// Name identifies the engine ("rio", "centralized-fifo", ...).
@@ -172,6 +225,17 @@ type Runtime interface {
 
 // New builds a Runtime for the given options.
 func New(o Options) (Runtime, error) {
+	rt, err := newEngine(o)
+	if err != nil {
+		return nil, err
+	}
+	if o.Timeout > 0 {
+		rt = &deadlineRuntime{Runtime: rt, timeout: o.Timeout}
+	}
+	return rt, nil
+}
+
+func newEngine(o Options) (Runtime, error) {
 	switch o.Model {
 	case InOrder:
 		return core.New(core.Options{
@@ -179,6 +243,8 @@ func New(o Options) (Runtime, error) {
 			Mapping:      o.Mapping,
 			NoAccounting: o.NoAccounting,
 			SpinLimit:    o.SpinLimit,
+			StallTimeout: o.StallTimeout,
+			NoGuard:      o.NoGuard,
 		})
 	case Centralized, CentralizedWS, CentralizedPrio:
 		kind := centralized.FIFO
@@ -199,6 +265,24 @@ func New(o Options) (Runtime, error) {
 		return sequential.New(sequential.Options{NoAccounting: o.NoAccounting}), nil
 	}
 	return nil, fmt.Errorf("rio: unknown model %v", o.Model)
+}
+
+// deadlineRuntime bounds every run of the wrapped engine with
+// Options.Timeout, composing with any deadline the caller's context
+// already carries (the earlier one wins).
+type deadlineRuntime struct {
+	Runtime
+	timeout time.Duration
+}
+
+func (d *deadlineRuntime) Run(numData int, prog Program) error {
+	return d.RunContext(context.Background(), numData, prog)
+}
+
+func (d *deadlineRuntime) RunContext(ctx context.Context, numData int, prog Program) error {
+	ctx, cancel := context.WithTimeout(ctx, d.timeout)
+	defer cancel()
+	return d.Runtime.RunContext(ctx, numData, prog)
 }
 
 // CyclicMapping maps task id to worker id mod p — the default mapping of
