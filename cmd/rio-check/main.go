@@ -22,12 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"text/tabwriter"
 	"time"
 
 	"rio"
+	"rio/internal/analyze"
 	"rio/internal/enginetest"
 	"rio/internal/graphs"
 	"rio/internal/sched"
@@ -45,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rio-check", flag.ContinueOnError)
 	sizesFlag := fs.String("sizes", "2x2,3x2,3x3", "comma-separated LU tile-grid sizes (RxC)")
-	workload := fs.String("workload", "lu", "task flow to check: lu | cholesky | gemm | wavefront | random (the paper checks lu only; nothing in the method is LU-specific)")
+	workload := fs.String("workload", "lu", "task flow to check: lu | cholesky | gemm | wavefront | chain | random (the paper checks lu only; nothing in the method is LU-specific)")
 	size := fs.Int("size", 3, "size of non-LU workloads (tiles / grid side / task count)")
 	workers := fs.Int("workers", 2, "worker count of the checked models (max 4)")
 	sample := fs.Int("sample", 0, "if > 0, Monte-Carlo sample this many random executions instead of exhaustive enumeration (for instances beyond exhaustive reach)")
@@ -64,7 +63,7 @@ func run(args []string) error {
 	if *workload != "lu" {
 		rows, err = checkWorkload(*workload, *size, *workers, *sample, *seed)
 	} else {
-		sizes, err = parseSizes(*sizesFlag)
+		sizes, err = analyze.ParseSizes(*sizesFlag)
 		if err != nil {
 			return err
 		}
@@ -110,7 +109,7 @@ func run(args []string) error {
 		}
 		var insts []instance
 		if *workload != "lu" {
-			g, err := workloadGraph(*workload, *size, *seed)
+			g, err := analyze.WorkloadGraph(*workload, *size, *seed)
 			if err != nil {
 				return err
 			}
@@ -136,7 +135,11 @@ func run(args []string) error {
 // divergent program) surfaces as a stall/divergence diagnosis instead of
 // hanging the checker.
 func execCheck(g *stf.Graph, workers, runs int, timeout time.Duration) error {
-	opts := rio.Options{Model: rio.InOrder, Workers: workers, Mapping: sched.Cyclic(workers)}
+	mapping := sched.Cyclic(workers)
+	if err := analyze.ValidateInstance(g, workers, mapping); err != nil {
+		return err
+	}
+	opts := rio.Options{Model: rio.InOrder, Workers: workers, Mapping: mapping}
 	if timeout > 0 {
 		opts.Timeout = timeout
 		opts.StallTimeout = timeout / 2
@@ -161,25 +164,10 @@ func execCheck(g *stf.Graph, workers, runs int, timeout time.Duration) error {
 	return nil
 }
 
-// workloadGraph builds the task flow of one non-LU workload.
-func workloadGraph(workload string, size int, seed int64) (*stf.Graph, error) {
-	switch workload {
-	case "cholesky":
-		return graphs.Cholesky(size), nil
-	case "gemm":
-		return graphs.GEMM(size), nil
-	case "wavefront":
-		return graphs.Wavefront(size, size), nil
-	case "random":
-		return graphs.RandomDeps(size, 4, 1, 1, seed), nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", workload)
-}
-
 // checkWorkload extends Table 1's procedure to the other workloads of the
 // evaluation.
 func checkWorkload(workload string, size, workers, sample int, seed int64) ([]spec.Table1Row, error) {
-	g, err := workloadGraph(workload, size, seed)
+	g, err := analyze.WorkloadGraph(workload, size, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -233,25 +221,4 @@ func verdict(r *spec.Result) string {
 		return "ok"
 	}
 	return fmt.Sprintf("FAILED (%d violations)", len(r.Violations))
-}
-
-func parseSizes(s string) ([][2]int, error) {
-	var out [][2]int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		rc := strings.Split(part, "x")
-		if len(rc) != 2 {
-			return nil, fmt.Errorf("bad size %q (want RxC)", part)
-		}
-		r, err := strconv.Atoi(rc[0])
-		if err != nil {
-			return nil, err
-		}
-		c, err := strconv.Atoi(rc[1])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, [2]int{r, c})
-	}
-	return out, nil
 }

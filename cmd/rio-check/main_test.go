@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"rio/internal/analyze"
+)
 
 func TestRunExhaustive(t *testing.T) {
 	if err := run([]string{"-sizes", "2x2,3x2", "-workers", "2"}); err != nil {
@@ -23,9 +27,10 @@ func TestRunRejectsBadSizes(t *testing.T) {
 }
 
 func TestParseSizes(t *testing.T) {
-	got, err := parseSizes("2x2, 3x2")
+	// Size parsing lives in internal/analyze now, shared with rio-vet.
+	got, err := analyze.ParseSizes("2x2, 3x2")
 	if err != nil || len(got) != 2 || got[1] != [2]int{3, 2} {
-		t.Errorf("parseSizes = %v, %v", got, err)
+		t.Errorf("ParseSizes = %v, %v", got, err)
 	}
 }
 

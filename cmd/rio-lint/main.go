@@ -1,0 +1,79 @@
+// Command rio-lint runs the runtime's custom source analyzers
+// (internal/lint) over a source tree — the vet-style companion of
+// rio-vet, which analyzes task flows rather than Go source.
+//
+//	rio-lint            lint the current directory tree
+//	rio-lint path...    lint the given trees
+//	rio-lint -list      show the analyzers
+//
+// The analyzers check implementation invariants of the engines that go
+// vet cannot express: poll loops must check the run-abort/cancellation
+// state, and sync/atomic struct fields (the shared half of the per-data
+// protocol state) must only be touched through atomic method calls. The
+// exit status is 1 when any diagnostic is reported. CI runs this over
+// the repository.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rio/internal/lint"
+)
+
+func main() {
+	n, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rio-lint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("rio-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	roots := fs.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var diags []lint.Diagnostic
+	for _, root := range roots {
+		ds, err := lint.Dir(root, analyzers)
+		if err != nil {
+			return 0, err
+		}
+		diags = append(diags, ds...)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			return 0, err
+		}
+		return len(diags), nil
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "%d diagnostic(s)\n", len(diags))
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rio/internal/analyze"
+	"rio/internal/stf"
+)
+
+// writeGraph serializes a graph into a temp file and returns its path.
+func writeGraph(t *testing.T, g *stf.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flow.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// vetJSON runs rio-vet with -json and decodes the report.
+func vetJSON(t *testing.T, args ...string) (*analyze.Report, bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	reject, err := run(append(args, "-json"), &buf)
+	if err != nil {
+		t.Fatalf("rio-vet %v: %v", args, err)
+	}
+	var rep analyze.Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, buf.String())
+	}
+	return &rep, reject
+}
+
+// The five acceptance defects, each detected with a distinct code.
+
+func TestVetDetectsUninitializedRead(t *testing.T) {
+	g := stf.NewGraph("uninit", 1)
+	g.Add(0, 0, 0, 0, stf.R(0))
+	g.Add(0, 1, 0, 0, stf.W(0))
+	rep, reject := vetJSON(t, "-graph", writeGraph(t, g))
+	if !rep.Has(analyze.CodeUninitRead) || !reject {
+		t.Fatalf("want %s + reject, got reject=%v findings=%+v", analyze.CodeUninitRead, reject, rep.Findings)
+	}
+}
+
+func TestVetDetectsDeadWrite(t *testing.T) {
+	g := stf.NewGraph("dead", 1)
+	g.Add(0, 0, 0, 0, stf.W(0))
+	g.Add(0, 1, 0, 0, stf.W(0))
+	g.Add(0, 2, 0, 0, stf.R(0))
+	rep, reject := vetJSON(t, "-graph", writeGraph(t, g))
+	if !rep.Has(analyze.CodeDeadWrite) || !reject {
+		t.Fatalf("want %s + reject, got reject=%v findings=%+v", analyze.CodeDeadWrite, reject, rep.Findings)
+	}
+}
+
+func TestVetDetectsNondeterministicProgram(t *testing.T) {
+	rep, reject := vetJSON(t, "-workload", "nondet")
+	if !rep.Has(analyze.CodeNondeterminism) || !reject {
+		t.Fatalf("want %s + reject, got reject=%v findings=%+v", analyze.CodeNondeterminism, reject, rep.Findings)
+	}
+}
+
+func TestVetDetectsOutOfRangeMapping(t *testing.T) {
+	rep, reject := vetJSON(t, "-workload", "chain", "-size", "4", "-workers", "2", "-mapping", "single:9")
+	if !rep.Has(analyze.CodeBadMapping) || !reject {
+		t.Fatalf("want %s + reject, got reject=%v findings=%+v", analyze.CodeBadMapping, reject, rep.Findings)
+	}
+}
+
+func TestVetDetectsSerializedWavefrontMapping(t *testing.T) {
+	rep, reject := vetJSON(t, "-workload", "wavefront", "-size", "4", "-workers", "4", "-mapping", "single:0")
+	if !rep.Has(analyze.CodeSerialization) || !reject {
+		t.Fatalf("want %s + reject, got reject=%v findings=%+v", analyze.CodeSerialization, reject, rep.Findings)
+	}
+}
+
+func TestVetAcceptsCleanWorkloads(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "lu", "-size", "3", "-workers", "2"},
+		{"-workload", "gemm", "-size", "2", "-workers", "4"},
+		{"-workload", "wavefront", "-size", "4", "-workers", "4"},
+		{"-workload", "cholesky", "-size", "3", "-workers", "3", "-mapping", "blockcyclic:2"},
+	} {
+		rep, reject := vetJSON(t, args...)
+		if reject {
+			t.Errorf("rio-vet %v rejected a clean workload: %+v", args, rep.Findings)
+		}
+	}
+}
+
+func TestVetHumanReportAndFailOn(t *testing.T) {
+	var buf bytes.Buffer
+	reject, err := run([]string{"-workload", "lu", "-size", "3", "-workers", "2"}, &buf)
+	if err != nil || reject {
+		t.Fatalf("clean run: reject=%v err=%v", reject, err)
+	}
+	if !strings.Contains(buf.String(), "error(s)") {
+		t.Fatalf("missing summary line: %q", buf.String())
+	}
+
+	// -fail-on info turns the informational findings into a rejection.
+	buf.Reset()
+	reject, err = run([]string{"-workload", "lu", "-size", "3", "-workers", "2", "-fail-on", "info"}, &buf)
+	if err != nil || !reject {
+		t.Fatalf("-fail-on info: reject=%v err=%v", reject, err)
+	}
+}
+
+func TestVetUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "nope"},
+		{"-mapping", "nope"},
+		{"-passes", "nope"},
+		{"-fail-on", "nope"},
+		{"-graph", "/does/not/exist.json"},
+	} {
+		if _, err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("rio-vet %v: want usage error", args)
+		}
+	}
+}

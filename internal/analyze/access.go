@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"rio/internal/stf"
+)
+
+// accessPass is the data-flow hygiene lint over a sanitized flow:
+//
+//   - CodeUninitRead (warning): a ReadOnly access to a data object no
+//     task has written yet, while some later task does write it — the
+//     flow treats the object as produced data but consumes it first.
+//     Objects that are only ever read are assumed externally initialized
+//     inputs and not reported.
+//   - CodeAccumulateRead (info): the first access to an object is a
+//     read-modify (RW or Reduction) — the common accumulate-into idiom;
+//     correctness depends on external initialization.
+//   - CodeDeadWrite (warning): a WriteOnly access overwrites a value no
+//     task ever read. The final write to an object is never dead (it is
+//     the program's output).
+//   - CodeUnusedData (info): a registered object no task touches.
+//
+// Uninitialized and accumulate reads are reported once per data object
+// (at the first offending task); dead writes are reported per overwrite.
+func accessPass(rep *Report, g *stf.Graph) {
+	type dataState struct {
+		touched      bool
+		written      bool       // some write already happened
+		pendingWrite stf.TaskID // last unread write, NoTask if none
+		reported     bool       // uninit/accumulate already reported
+	}
+	states := make([]dataState, g.NumData)
+	for i := range states {
+		states[i].pendingWrite = stf.NoTask
+	}
+
+	// writtenEver[d]: does any task in the whole flow write (or reduce)
+	// d? Distinguishes "consumed before produced" from pure inputs.
+	writtenEver := make([]bool, g.NumData)
+	for i := range g.Tasks {
+		for _, a := range g.Tasks[i].Accesses {
+			if a.Mode.Writes() || a.Mode.Commutes() {
+				writtenEver[a.Data] = true
+			}
+		}
+	}
+
+	deadWrites, uninitReads, accumReads := 0, 0, 0
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		for _, a := range t.Accesses {
+			st := &states[a.Data]
+			st.touched = true
+			reads := a.Mode.Reads() || a.Mode.Commutes()
+			writes := a.Mode.Writes() || a.Mode.Commutes()
+
+			if reads && !st.written && !st.reported {
+				switch {
+				case a.Mode == stf.ReadOnly && writtenEver[a.Data]:
+					st.reported = true
+					uninitReads++
+					if uninitReads <= capPerCode {
+						rep.addf(CodeUninitRead, Warning, t.ID, a.Data, NoID,
+							"read of data %d before any task wrote it (first write comes later in the flow)", a.Data)
+					}
+				case a.Mode != stf.ReadOnly:
+					st.reported = true
+					accumReads++
+					if accumReads <= capPerCode {
+						rep.addf(CodeAccumulateRead, Info, t.ID, a.Data, NoID,
+							"first access to data %d is a read-modify (%s): assumed externally initialized", a.Data, a.Mode)
+					}
+				}
+			}
+
+			if a.Mode == stf.WriteOnly && st.pendingWrite != stf.NoTask {
+				deadWrites++
+				if deadWrites <= capPerCode {
+					rep.addf(CodeDeadWrite, Warning, st.pendingWrite, a.Data, NoID,
+						"write to data %d by task %d is dead: overwritten by task %d with no read in between",
+						a.Data, st.pendingWrite, t.ID)
+				}
+			}
+
+			if reads {
+				st.pendingWrite = stf.NoTask
+			}
+			if writes {
+				st.written = true
+				st.pendingWrite = t.ID
+			}
+		}
+	}
+	if extra := deadWrites - capPerCode; extra > 0 {
+		rep.addf(CodeDeadWrite, Warning, NoID, NoID, NoID, "%d more dead write(s) not listed", extra)
+	}
+	if extra := uninitReads - capPerCode; extra > 0 {
+		rep.addf(CodeUninitRead, Warning, NoID, NoID, NoID, "%d more uninitialized read(s) not listed", extra)
+	}
+	if extra := accumReads - capPerCode; extra > 0 {
+		rep.addf(CodeAccumulateRead, Info, NoID, NoID, NoID, "%d more read-modify first access(es) not listed", extra)
+	}
+
+	unused := 0
+	for d := range states {
+		if !states[d].touched {
+			unused++
+			if unused <= capPerCode {
+				rep.addf(CodeUnusedData, Info, NoID, stf.DataID(d), NoID,
+					"data %d is registered but never accessed", d)
+			}
+		}
+	}
+	if extra := unused - capPerCode; extra > 0 {
+		rep.addf(CodeUnusedData, Info, NoID, NoID, NoID, "%d more unused data object(s) not listed", extra)
+	}
+}

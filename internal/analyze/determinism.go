@@ -1,0 +1,75 @@
+package analyze
+
+import (
+	"fmt"
+
+	"rio/internal/stf"
+)
+
+// determinismPass replays the program in record mode replays-1 further
+// times and diffs every replay structurally against the first. The
+// decentralized engine replays the program once per worker (paper §3.3,
+// assumption 2), so any structural divergence between replays is a
+// program the RIO model cannot run: at execution time it surfaces as a
+// DivergenceError or a deadlock. This pass is the static complement of
+// the engine's runtime divergence guard — it localizes the first
+// diverging task before any worker starts.
+func determinismPass(rep *Report, numData int, prog stf.Program, first *recording, replays int) {
+	for k := 1; k < replays; k++ {
+		other := record(numData, prog)
+		if other.panicked {
+			rep.addf(CodeNondeterminism, Error, stf.TaskID(len(other.g.Tasks)), NoID, NoID,
+				"replay %d of %d panicked in record mode while replay 1 did not", k+1, replays)
+			return
+		}
+		if f, diverged := diffGraphs(first.g, other.g, k+1, replays); diverged {
+			rep.add(f)
+			return // one localized divergence is actionable; more is noise
+		}
+	}
+}
+
+// diffGraphs compares two recorded flows task by task and localizes the
+// first divergence.
+func diffGraphs(a, b *stf.Graph, replay, replays int) (Finding, bool) {
+	n := len(a.Tasks)
+	if len(b.Tasks) < n {
+		n = len(b.Tasks)
+	}
+	for i := 0; i < n; i++ {
+		if d := diffTask(&a.Tasks[i], &b.Tasks[i]); d != "" {
+			return Finding{Code: CodeNondeterminism, Severity: Error,
+				Task: stf.TaskID(i), Data: NoID, Worker: NoID,
+				Message: fmt.Sprintf("replay %d of %d diverges at task %d: %s", replay, replays, i, d),
+			}, true
+		}
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		return Finding{Code: CodeNondeterminism, Severity: Error,
+			Task: stf.TaskID(n), Data: NoID, Worker: NoID,
+			Message: fmt.Sprintf("replay %d of %d submitted %d task(s), replay 1 submitted %d: flows diverge after task %d",
+				replay, replays, len(b.Tasks), len(a.Tasks), n-1),
+		}, true
+	}
+	return Finding{}, false
+}
+
+// diffTask describes the first structural difference between two tasks,
+// or returns "" when they match.
+func diffTask(a, b *stf.Task) string {
+	if a.Kernel != b.Kernel || a.I != b.I || a.J != b.J || a.K != b.K {
+		return fmt.Sprintf("kernel/coordinates (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			a.Kernel, a.I, a.J, a.K, b.Kernel, b.I, b.J, b.K)
+	}
+	if len(a.Accesses) != len(b.Accesses) {
+		return fmt.Sprintf("%d access(es) vs %d", len(a.Accesses), len(b.Accesses))
+	}
+	for i := range a.Accesses {
+		if a.Accesses[i] != b.Accesses[i] {
+			return fmt.Sprintf("access %d is %s(%d) vs %s(%d)", i,
+				a.Accesses[i].Mode, a.Accesses[i].Data,
+				b.Accesses[i].Mode, b.Accesses[i].Data)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,124 @@
+package analyze_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rio/internal/analyze"
+	"rio/internal/enginetest"
+	"rio/internal/stf"
+)
+
+// FuzzAnalyzer feeds random task graphs through the full pass pipeline
+// and checks the analyzer's own invariants: it never panics, it is
+// deterministic (re-analyzing yields identical findings), its sanitized
+// graph always validates, and a graph built by the generators never
+// produces structural (RIO-A00x) findings — those are reserved for
+// malformed submissions.
+func FuzzAnalyzer(f *testing.F) {
+	f.Add(int64(1), 8, 4, 2)
+	f.Add(int64(42), 16, 6, 3)
+	f.Add(int64(7), 1, 1, 1)
+	f.Add(int64(99), 24, 3, 4)
+	f.Fuzz(func(t *testing.T, seed int64, maxTasks, maxData, workers int) {
+		if maxTasks < 1 || maxTasks > 48 || maxData < 1 || maxData > 16 {
+			t.Skip()
+		}
+		if workers < 1 || workers > 8 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := enginetest.RandomGraphWithReductions(rng, maxTasks, maxData)
+		cfg := analyze.Config{
+			Passes:  analyze.PassAll,
+			Workers: workers,
+			InOrder: true,
+		}
+		rep, sg := analyze.Program(g.NumData, stf.Replay(g, nil), cfg)
+		if sg == nil {
+			t.Fatal("record-mode replay of a valid graph produced no graph")
+		}
+		if err := sg.Validate(); err != nil {
+			t.Fatalf("sanitized graph invalid: %v", err)
+		}
+		for _, code := range []analyze.Code{
+			analyze.CodeBadAccess, analyze.CodeDuplicateAccess,
+			analyze.CodeBadTaskID, analyze.CodePrunedFlow,
+			analyze.CodeRecordPanic, analyze.CodeNondeterminism,
+			analyze.CodeSpecViolation,
+		} {
+			if rep.Has(code) {
+				t.Fatalf("generated graph produced %s: %+v", code, rep.Findings)
+			}
+		}
+		rep2, _ := analyze.Program(g.NumData, stf.Replay(g, nil), cfg)
+		if !reflect.DeepEqual(rep.Findings, rep2.Findings) {
+			t.Fatalf("analysis is nondeterministic:\n%+v\nvs\n%+v", rep.Findings, rep2.Findings)
+		}
+
+		// A cleaned-up variant of the same flow must pass the access lint
+		// outright: force the first access to every data object to be a
+		// write and drop writes that would kill an unread pending write.
+		clean := cleanGraph(rng, g)
+		crep := analyze.Graph(clean, analyze.Config{Passes: analyze.PassAccess})
+		if crep.CountAtLeast(analyze.Warning) != 0 {
+			t.Fatalf("clean program flagged: %+v", crep.Findings)
+		}
+
+		// Seeding a read-before-write defect on a fresh data object must be
+		// caught.
+		defective := seedUninitRead(clean)
+		drep := analyze.Graph(defective, analyze.Config{Passes: analyze.PassAccess})
+		if !drep.Has(analyze.CodeUninitRead) {
+			t.Fatalf("seeded uninitialized read not found: %+v", drep.Findings)
+		}
+	})
+}
+
+// cleanGraph rewrites g so the access lint has nothing to say at warning
+// level: every data object's first access becomes WriteOnly, and a
+// WriteOnly access over a still-unread write is downgraded to ReadWrite.
+func cleanGraph(rng *rand.Rand, g *stf.Graph) *stf.Graph {
+	out := stf.NewGraph(g.Name+"-clean", g.NumData)
+	touched := make([]bool, g.NumData)
+	pending := make([]bool, g.NumData)
+	for _, tk := range g.Tasks {
+		accs := make([]stf.Access, 0, len(tk.Accesses))
+		for _, a := range tk.Accesses {
+			mode := a.Mode
+			if !touched[a.Data] {
+				mode = stf.WriteOnly
+			} else if mode == stf.WriteOnly && pending[a.Data] {
+				mode = stf.ReadWrite
+			}
+			touched[a.Data] = true
+			// Mirror the analyzer's model: every write (including the write
+			// half of RW/Red) leaves a pending unread value; a pure read
+			// consumes it.
+			switch mode {
+			case stf.ReadOnly:
+				pending[a.Data] = false
+			default:
+				pending[a.Data] = true
+			}
+			accs = append(accs, stf.Access{Data: a.Data, Mode: mode})
+		}
+		out.Add(tk.Kernel, tk.I, tk.J, tk.K, accs...)
+	}
+	_ = rng
+	return out
+}
+
+// seedUninitRead appends a data object that is read before its only
+// write — the canonical access-lint defect.
+func seedUninitRead(g *stf.Graph) *stf.Graph {
+	out := stf.NewGraph(g.Name+"-defect", g.NumData+1)
+	bad := stf.DataID(g.NumData)
+	out.Add(0, 0, 0, 0, stf.R(bad))
+	for _, tk := range g.Tasks {
+		out.Add(tk.Kernel, tk.I, tk.J, tk.K, tk.Accesses...)
+	}
+	out.Add(0, 0, 0, 0, stf.W(bad))
+	return out
+}

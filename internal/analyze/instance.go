@@ -1,0 +1,155 @@
+package analyze
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"rio/internal/graphs"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// This file is the shared instance plumbing of the analysis tools:
+// building named workload graphs, parsing size and mapping specs, and
+// validating a (graph, workers, mapping) instance. cmd/rio-check and
+// cmd/rio-vet both consume it so the two tools cannot drift apart.
+
+// WorkloadGraph builds the task flow of one named workload. size is the
+// workload's scale (tile-grid side, chain length or task count); seed
+// only affects the random workload.
+func WorkloadGraph(workload string, size int, seed int64) (*stf.Graph, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("analyze: workload size must be positive (got %d)", size)
+	}
+	switch workload {
+	case "lu":
+		return graphs.LU(size), nil
+	case "cholesky":
+		return graphs.Cholesky(size), nil
+	case "gemm":
+		return graphs.GEMM(size), nil
+	case "wavefront":
+		return graphs.Wavefront(size, size), nil
+	case "chain":
+		return graphs.Chain(size), nil
+	case "random":
+		return graphs.RandomDeps(size, 4, 1, 1, seed), nil
+	}
+	return nil, fmt.Errorf("analyze: unknown workload %q (want lu|cholesky|gemm|wavefront|chain|random)", workload)
+}
+
+// ParseSizes parses a comma-separated list of RxC tile-grid sizes
+// ("2x2,3x2").
+func ParseSizes(s string) ([][2]int, error) {
+	var out [][2]int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		rc := strings.Split(part, "x")
+		if len(rc) != 2 {
+			return nil, fmt.Errorf("analyze: bad size %q (want RxC)", part)
+		}
+		r, err := strconv.Atoi(rc[0])
+		if err != nil {
+			return nil, err
+		}
+		c, err := strconv.Atoi(rc[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, [2]int{r, c})
+	}
+	return out, nil
+}
+
+// ParseMapping builds a mapping from a spec string:
+//
+//	cyclic          round-robin (the in-order engine's default)
+//	block           contiguous chunks over the graph's tasks
+//	blockcyclic:B   blocks of B tasks, round-robin
+//	single:W        every task on worker W
+//	owner2d         2-D block-cyclic owner-computes over (Task.I, Task.J)
+//
+// g may be nil for specs that do not need the graph (cyclic, single:W,
+// blockcyclic:B).
+func ParseMapping(mapSpec string, g *stf.Graph, p int) (stf.Mapping, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("analyze: mapping needs a positive worker count (got %d)", p)
+	}
+	name, arg, hasArg := strings.Cut(mapSpec, ":")
+	switch name {
+	case "cyclic", "":
+		return sched.Cyclic(p), nil
+	case "block":
+		if g == nil {
+			return nil, fmt.Errorf("analyze: mapping %q needs a task flow", mapSpec)
+		}
+		return sched.Block(len(g.Tasks), p), nil
+	case "blockcyclic":
+		bs := 4
+		if hasArg {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("analyze: bad block size in %q", mapSpec)
+			}
+			bs = v
+		}
+		return sched.BlockCyclic(p, bs), nil
+	case "single":
+		w := 0
+		if hasArg {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("analyze: bad worker in %q", mapSpec)
+			}
+			w = v
+		}
+		return sched.Single(stf.WorkerID(w)), nil
+	case "owner2d":
+		if g == nil {
+			return nil, fmt.Errorf("analyze: mapping %q needs a task flow", mapSpec)
+		}
+		return sched.OwnerComputes(g, sched.NewGrid2D(p)), nil
+	}
+	return nil, fmt.Errorf("analyze: unknown mapping %q (want cyclic|block|blockcyclic:B|single:W|owner2d)", mapSpec)
+}
+
+// ValidateInstance is the strict (error, not finding) validation of one
+// runnable instance: a structurally valid flow, a positive worker count,
+// and a mapping staying in range. Tools validate instances through this
+// single entry point.
+func ValidateInstance(g *stf.Graph, workers int, m stf.Mapping) error {
+	if workers < 1 {
+		return fmt.Errorf("analyze: worker count %d < 1", workers)
+	}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	if m != nil {
+		if err := sched.Validate(g, m, workers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NondetDemo returns a deliberately nondeterministic program: every
+// replay submits a different second task. It exists so tools and tests
+// can demonstrate the determinism lint (the decentralized engine would
+// fail such a program at runtime with a DivergenceError at best).
+func NondetDemo(numData int) (int, stf.Program) {
+	if numData < 1 {
+		numData = 1
+	}
+	var replay atomic.Int32
+	return numData, func(s stf.Submitter) {
+		n := replay.Add(1)
+		s.Submit(nil, stf.W(0))
+		if n%2 == 1 {
+			s.Submit(nil, stf.R(0))
+		} else {
+			s.Submit(nil, stf.RW(0))
+		}
+	}
+}

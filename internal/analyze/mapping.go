@@ -1,0 +1,149 @@
+package analyze
+
+import (
+	"rio/internal/stf"
+)
+
+// mappingPass analyzes a static TaskID→WorkerID mapping against the
+// recorded flow:
+//
+//   - CodeBadMapping (error): a task mapped outside [0, Workers).
+//   - CodeUnusedWorker (info): a worker owning no task while there are
+//     at least as many tasks as workers.
+//   - CodeImbalance (warning): max per-worker load beyond
+//     Config.ImbalanceFactor times the mean (only when there are enough
+//     tasks for balance to be possible).
+//   - CodeSerialization (warning): in-order feasibility — under the RIO
+//     model each worker executes its owned tasks in task-flow order, so
+//     the achievable makespan is bounded below by the longest path in
+//     the DAG formed by the dependency edges *plus* each worker's
+//     ownership chain. When that bound exceeds
+//     Config.SerializationFactor × max(critical path, ⌈n/p⌉), the
+//     mapping — not the dependencies and not the load — is what
+//     serializes the run.
+//
+// Tasks mapped to stf.SharedWorker (partial mappings) are claimed
+// dynamically and contribute no ownership-chain edge.
+func mappingPass(rep *Report, g *stf.Graph, cfg Config) {
+	p := cfg.Workers
+	if p <= 0 {
+		rep.addf(CodeBadMapping, Error, NoID, NoID, NoID,
+			"mapping analysis needs a positive worker count (got %d)", p)
+		return
+	}
+	n := len(g.Tasks)
+	owners := make([]stf.WorkerID, n)
+	badRange := 0
+	for i := 0; i < n; i++ {
+		w := cfg.Mapping(stf.TaskID(i))
+		owners[i] = w
+		if w == stf.SharedWorker {
+			continue
+		}
+		if w < 0 || int(w) >= p {
+			badRange++
+			if badRange <= capPerCode {
+				rep.addf(CodeBadMapping, Error, stf.TaskID(i), NoID, w,
+					"mapping(%d) = %d outside [0,%d)", i, w, p)
+			}
+		}
+	}
+	if badRange > 0 {
+		if extra := badRange - capPerCode; extra > 0 {
+			rep.addf(CodeBadMapping, Error, NoID, NoID, NoID,
+				"%d more out-of-range mapping(s) not listed", extra)
+		}
+		return // load and feasibility are meaningless with a broken range
+	}
+
+	hist := make([]int, p)
+	mapped := 0
+	for _, w := range owners {
+		if w != stf.SharedWorker {
+			hist[w]++
+			mapped++
+		}
+	}
+	if n >= p {
+		for w := 0; w < p; w++ {
+			if hist[w] == 0 {
+				rep.addf(CodeUnusedWorker, Info, NoID, NoID, stf.WorkerID(w),
+					"worker %d owns no task (%d tasks over %d workers)", w, n, p)
+			}
+		}
+	}
+	if mapped >= 4*p && p > 1 {
+		max, maxW := 0, 0
+		for w, h := range hist {
+			if h > max {
+				max, maxW = h, w
+			}
+		}
+		mean := float64(mapped) / float64(p)
+		if float64(max) > cfg.imbalanceFactor()*mean {
+			rep.addf(CodeImbalance, Warning, NoID, NoID, stf.WorkerID(maxW),
+				"load imbalance: worker %d owns %d of %d tasks (mean %.1f); histogram %v",
+				maxW, max, mapped, mean, hist)
+		}
+	}
+
+	if cfg.InOrder && p > 1 && n > 1 {
+		serializationCheck(rep, g, owners, p, cfg.serializationFactor())
+	}
+}
+
+// serializationCheck computes, in one forward pass over the flow (task
+// IDs are a topological order for both edge families), the dependency
+// critical path and the in-order makespan lower bound of the mapping,
+// counting every task as one unit of work.
+func serializationCheck(rep *Report, g *stf.Graph, owners []stf.WorkerID, p int, factor float64) {
+	deps := g.Dependencies()
+	n := len(g.Tasks)
+	depth := make([]int, n)  // dependency-only longest path ending at t
+	finish := make([]int, n) // dependencies + ownership-chain longest path
+	lastOwned := make([]int, p)
+	for w := range lastOwned {
+		lastOwned[w] = -1
+	}
+	cp, span := 0, 0
+	for t := 0; t < n; t++ {
+		d, f := 1, 1
+		for _, pre := range deps[t] {
+			if depth[pre]+1 > d {
+				d = depth[pre] + 1
+			}
+			if finish[pre]+1 > f {
+				f = finish[pre] + 1
+			}
+		}
+		if w := owners[t]; w != stf.SharedWorker {
+			if prev := lastOwned[w]; prev >= 0 && finish[prev]+1 > f {
+				f = finish[prev] + 1
+			}
+			lastOwned[w] = t
+		}
+		depth[t], finish[t] = d, f
+		if d > cp {
+			cp = d
+		}
+		if f > span {
+			span = f
+		}
+	}
+
+	loadBound := (n + p - 1) / p
+	ideal := cp
+	if loadBound > ideal {
+		ideal = loadBound
+	}
+	if float64(span) > factor*float64(ideal) {
+		detail := ""
+		if span == n {
+			detail = " — the flow is fully serialized"
+		}
+		rep.addf(CodeSerialization, Warning, NoID, NoID, NoID,
+			"mapping-induced serialization: in-order makespan lower bound is %d tasks "+
+				"vs critical path %d and balanced-load bound %d (inflation %.2fx)%s",
+			span, cp, loadBound, float64(span)/float64(ideal), detail)
+	}
+}

@@ -1,0 +1,170 @@
+package analyze
+
+import (
+	"fmt"
+
+	"rio/internal/stf"
+)
+
+// capPerCode bounds how many findings of one repetitive class are
+// reported individually; beyond it a single summary finding is emitted so
+// a pathological program cannot drown the report.
+const capPerCode = 16
+
+// recording is one record-mode replay of a program, tolerant of
+// malformed flows: instead of aborting on the first structural defect
+// (as stf.Record does), every defect becomes a finding and the raw flow
+// is kept for the determinism diff.
+type recording struct {
+	g        *stf.Graph
+	findings []Finding
+	panicked bool
+
+	badAccess int
+	dupAccess int
+}
+
+// record replays prog once in record mode. A panic in the program is
+// recovered and reported as a finding (the engines would abort the run
+// the same way).
+func record(numData int, prog stf.Program) *recording {
+	rec := &recording{g: stf.NewGraph("recorded", numData)}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				rec.panicked = true
+				rec.findings = append(rec.findings, Finding{
+					Code: CodeRecordPanic, Severity: Error,
+					Task: stf.TaskID(len(rec.g.Tasks)), Data: NoID, Worker: NoID,
+					Message: fmt.Sprintf("program panicked in record mode: %v", r),
+				})
+			}
+		}()
+		prog(rec)
+	}()
+	rec.summarize()
+	return rec
+}
+
+func (r *recording) summarize() {
+	if extra := r.badAccess - capPerCode; extra > 0 {
+		r.findings = append(r.findings, Finding{Code: CodeBadAccess, Severity: Error,
+			Task: NoID, Data: NoID, Worker: NoID,
+			Message: fmt.Sprintf("%d more malformed access(es) not listed", extra)})
+	}
+	if extra := r.dupAccess - capPerCode; extra > 0 {
+		r.findings = append(r.findings, Finding{Code: CodeDuplicateAccess, Severity: Error,
+			Task: NoID, Data: NoID, Worker: NoID,
+			Message: fmt.Sprintf("%d more duplicate access(es) not listed", extra)})
+	}
+}
+
+func (r *recording) addf(code Code, sev Severity, task stf.TaskID, data stf.DataID, format string, args ...any) {
+	r.findings = append(r.findings, Finding{Code: code, Severity: sev,
+		Task: task, Data: data, Worker: NoID, Message: fmt.Sprintf(format, args...)})
+}
+
+// scanAccesses emits structural findings for one task's access list.
+func (r *recording) scanAccesses(id stf.TaskID, accesses []stf.Access) {
+	seen := make(map[stf.DataID]bool, len(accesses))
+	for _, a := range accesses {
+		switch {
+		case a.Data < 0 || int(a.Data) >= r.g.NumData:
+			r.badAccess++
+			if r.badAccess <= capPerCode {
+				r.addf(CodeBadAccess, Error, id, a.Data,
+					"access to data %d outside [0,%d)", a.Data, r.g.NumData)
+			}
+		case a.Mode == stf.None:
+			r.badAccess++
+			if r.badAccess <= capPerCode {
+				r.addf(CodeBadAccess, Error, id, a.Data, "access declares mode None")
+			}
+		case seen[a.Data]:
+			r.dupAccess++
+			if r.dupAccess <= capPerCode {
+				r.addf(CodeDuplicateAccess, Error, id, a.Data,
+					"data %d accessed more than once by the same task", a.Data)
+			}
+		default:
+			seen[a.Data] = true
+		}
+	}
+}
+
+// Submit implements stf.Submitter: the closure body is not executed.
+func (r *recording) Submit(fn stf.TaskFunc, accesses ...stf.Access) stf.TaskID {
+	id := r.g.Add(stf.RecordedClosure, 0, 0, 0, accesses...)
+	r.scanAccesses(id, accesses)
+	return id
+}
+
+// SubmitTask implements stf.Submitter for recorded tasks. Unlike
+// stf.Record, non-monotonic IDs and gaps are findings, not hard errors;
+// the task is re-recorded at the next position either way so downstream
+// passes still see the whole flow.
+func (r *recording) SubmitTask(t *stf.Task, k stf.Kernel) stf.TaskID {
+	want := stf.TaskID(len(r.g.Tasks))
+	switch {
+	case t.ID < want:
+		r.addf(CodeBadTaskID, Error, want, NoID,
+			"recorded task resubmits ID %d at position %d (IDs must be monotonic)", t.ID, want)
+	case t.ID > want:
+		r.addf(CodePrunedFlow, Warning, want, NoID,
+			"ID gap before task %d at position %d: the flow looks pruned; analyze the unpruned program", t.ID, want)
+	}
+	id := r.g.Add(t.Kernel, t.I, t.J, t.K, t.Accesses...)
+	r.scanAccesses(id, t.Accesses)
+	return t.ID
+}
+
+// Worker implements stf.Submitter; like stf.Record, the recorder presents
+// itself as the master so worker-pruned programs record the full flow.
+func (r *recording) Worker() stf.WorkerID { return stf.MasterWorker }
+
+// NumWorkers implements stf.Submitter.
+func (r *recording) NumWorkers() int { return 1 }
+
+// sanitized returns a structurally valid copy of the recorded flow:
+// out-of-range and None accesses are dropped, duplicate accesses keep
+// the first declaration. The copy passes stf.Graph.Validate and is what
+// the graph-level passes analyze.
+func (r *recording) sanitized() *stf.Graph { return sanitizeGraph(r.g) }
+
+// structuralScan is the Graph-entry-point counterpart of the recorder's
+// inline scanning.
+func structuralScan(rep *Report, g *stf.Graph) {
+	rec := &recording{g: stf.NewGraph(g.Name, g.NumData)}
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		want := stf.TaskID(len(rec.g.Tasks))
+		if t.ID != want {
+			rec.addf(CodeBadTaskID, Error, want, NoID,
+				"task at position %d carries ID %d", want, t.ID)
+		}
+		rec.g.Add(t.Kernel, t.I, t.J, t.K, t.Accesses...)
+		rec.scanAccesses(want, t.Accesses)
+	}
+	rec.summarize()
+	rep.add(rec.findings...)
+}
+
+// sanitizeGraph drops structurally invalid accesses (the matching
+// findings are produced by the recorder / structuralScan).
+func sanitizeGraph(g *stf.Graph) *stf.Graph {
+	out := stf.NewGraph(g.Name, g.NumData)
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		seen := make(map[stf.DataID]bool, len(t.Accesses))
+		accesses := make([]stf.Access, 0, len(t.Accesses))
+		for _, a := range t.Accesses {
+			if a.Data < 0 || int(a.Data) >= g.NumData || a.Mode == stf.None || seen[a.Data] {
+				continue
+			}
+			seen[a.Data] = true
+			accesses = append(accesses, a)
+		}
+		out.Add(t.Kernel, t.I, t.J, t.K, accesses...)
+	}
+	return out
+}

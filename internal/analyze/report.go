@@ -1,0 +1,283 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"rio/internal/stf"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Info findings are observations that never reject a program.
+	Info Severity = iota
+	// Warning findings indicate likely defects (lost parallelism, dead
+	// code, reads of unwritten data); preflight rejects them.
+	Warning
+	// Error findings are programs the engines cannot run correctly
+	// (malformed accesses, nondeterministic replays, broken mappings).
+	Error
+)
+
+// String names the severity as printed in reports.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// MarshalJSON encodes the severity by name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	sev, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = sev
+	return nil
+}
+
+// ParseSeverity parses a severity name.
+func ParseSeverity(name string) (Severity, error) {
+	switch name {
+	case "info":
+		return Info, nil
+	case "warning":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("analyze: unknown severity %q (want info|warning|error)", name)
+}
+
+// Code identifies a class of finding. Codes are stable across releases so
+// reports can be filtered mechanically.
+type Code string
+
+// Access-lint finding codes (RIO-Axxx).
+const (
+	// CodeBadAccess: a task declares an access with an out-of-range data
+	// ID or a None mode.
+	CodeBadAccess Code = "RIO-A001"
+	// CodeDuplicateAccess: a task declares two accesses to the same data.
+	CodeDuplicateAccess Code = "RIO-A002"
+	// CodeBadTaskID: the program submitted recorded tasks with
+	// non-monotonic IDs.
+	CodeBadTaskID Code = "RIO-A003"
+	// CodePrunedFlow: the program submitted recorded tasks with ID gaps
+	// (a pruned flow — analyze the unpruned program).
+	CodePrunedFlow Code = "RIO-A004"
+	// CodeRecordPanic: the program panicked while being recorded.
+	CodeRecordPanic Code = "RIO-A005"
+	// CodeUninitRead: a task reads a data object before any task wrote
+	// it, and some later task does write it — the flow treats the data
+	// as produced but consumes it first.
+	CodeUninitRead Code = "RIO-A010"
+	// CodeAccumulateRead: the first access to a data object is a
+	// read-modify (RW or Reduction); the data is assumed externally
+	// initialized. Informational.
+	CodeAccumulateRead Code = "RIO-A011"
+	// CodeDeadWrite: a write is overwritten by a later write with no
+	// intervening read — the first write's value is never observed.
+	CodeDeadWrite Code = "RIO-A012"
+	// CodeUnusedData: a registered data object is never accessed by any
+	// task.
+	CodeUnusedData Code = "RIO-A013"
+)
+
+// Mapping-analysis finding codes (RIO-Mxxx).
+const (
+	// CodeBadMapping: the mapping sends a task to a worker outside
+	// [0, Workers).
+	CodeBadMapping Code = "RIO-M001"
+	// CodeUnusedWorker: a worker owns no task.
+	CodeUnusedWorker Code = "RIO-M002"
+	// CodeImbalance: the per-worker load is badly skewed.
+	CodeImbalance Code = "RIO-M003"
+	// CodeSerialization: under per-worker in-order execution, the mapping
+	// inflates the achievable makespan well beyond both the dependency
+	// critical path and the balanced-load bound (mapping-induced
+	// serialization, specific to the RIO model).
+	CodeSerialization Code = "RIO-M004"
+)
+
+// Determinism-lint and spec-conformance finding codes.
+const (
+	// CodeNondeterminism: independent record-mode replays of the program
+	// produced different task flows.
+	CodeNondeterminism Code = "RIO-D001"
+	// CodeSpecViolation: the bounded model check of this instance found a
+	// property violation (data race, deadlock, or a RIO step that is not
+	// a legal STF step).
+	CodeSpecViolation Code = "RIO-S001"
+	// CodeSpecSkipped: the instance exceeds the bounded-exploration
+	// limits (or uses reductions) and was not model-checked.
+	CodeSpecSkipped Code = "RIO-S002"
+)
+
+// NoID marks the Task/Data/Worker fields of findings that are not tied to
+// a specific task, data object or worker.
+const NoID = -1
+
+// Finding is one diagnostic produced by a pass.
+type Finding struct {
+	Code     Code         `json:"code"`
+	Severity Severity     `json:"severity"`
+	Task     stf.TaskID   `json:"task"`
+	Data     stf.DataID   `json:"data"`
+	Worker   stf.WorkerID `json:"worker"`
+	Message  string       `json:"message"`
+}
+
+// String renders the finding as one report line.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%-7s %s", f.Severity, f.Code)
+	if f.Task != NoID {
+		s += fmt.Sprintf(" task %d", f.Task)
+	}
+	if f.Data != NoID {
+		s += fmt.Sprintf(" data %d", f.Data)
+	}
+	if f.Worker != NoID {
+		s += fmt.Sprintf(" worker %d", f.Worker)
+	}
+	return s + ": " + f.Message
+}
+
+// Report is the outcome of an analysis run.
+type Report struct {
+	// NumData and Tasks describe the analyzed instance.
+	NumData int `json:"num_data"`
+	Tasks   int `json:"tasks"`
+	// Findings is sorted by severity (most severe first), then task.
+	Findings []Finding `json:"findings"`
+	// Errors, Warnings and Infos count findings per severity.
+	Errors   int `json:"errors"`
+	Warnings int `json:"warnings"`
+	Infos    int `json:"infos"`
+}
+
+func (r *Report) add(fs ...Finding) { r.Findings = append(r.Findings, fs...) }
+
+func (r *Report) addf(code Code, sev Severity, task stf.TaskID, data stf.DataID, worker stf.WorkerID, format string, args ...any) {
+	r.add(Finding{Code: code, Severity: sev, Task: task, Data: data, Worker: worker,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// finish sorts the findings and recomputes the severity tallies.
+func (r *Report) finish() *Report {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		if r.Findings[i].Severity != r.Findings[j].Severity {
+			return r.Findings[i].Severity > r.Findings[j].Severity
+		}
+		return r.Findings[i].Task < r.Findings[j].Task
+	})
+	r.Errors, r.Warnings, r.Infos = 0, 0, 0
+	for _, f := range r.Findings {
+		switch f.Severity {
+		case Error:
+			r.Errors++
+		case Warning:
+			r.Warnings++
+		default:
+			r.Infos++
+		}
+	}
+	return r
+}
+
+// Max returns the highest severity present, or Info-1 when the report is
+// clean.
+func (r *Report) Max() Severity {
+	max := Info - 1
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// CountAtLeast returns the number of findings at or above sev.
+func (r *Report) CountAtLeast(sev Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity >= sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Reject reports whether preflight must reject the program: any finding
+// of Warning or Error severity.
+func (r *Report) Reject() bool { return r.Max() >= Warning }
+
+// Has reports whether any finding carries the given code.
+func (r *Report) Has(code Code) bool {
+	for _, f := range r.Findings {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSON writes the machine-readable form of the report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes the human form of the report, omitting findings below
+// minSev.
+func (r *Report) WriteText(w io.Writer, minSev Severity) error {
+	shown := 0
+	for _, f := range r.Findings {
+		if f.Severity < minSev {
+			continue
+		}
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+		shown++
+	}
+	_, err := fmt.Fprintf(w, "%d task(s), %d data object(s): %d error(s), %d warning(s), %d info (%d shown)\n",
+		r.Tasks, r.NumData, r.Errors, r.Warnings, r.Infos, shown)
+	return err
+}
+
+// PreflightError is returned by rio.Options.Preflight when the analyzer
+// rejects a program before any worker starts. Use errors.As to retrieve
+// the full Report.
+type PreflightError struct {
+	Report *Report
+}
+
+// Error summarizes the rejection with the most severe finding.
+func (e *PreflightError) Error() string {
+	r := e.Report
+	n := r.CountAtLeast(Warning)
+	if len(r.Findings) == 0 {
+		return "analyze: preflight rejected the program"
+	}
+	return fmt.Sprintf("analyze: preflight rejected the program: %d finding(s) at warning or above, first: %s",
+		n, r.Findings[0])
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AtomicField enforces the protocol-state invariant of the in-order
+// engine (internal/core's sharedState, and any struct like it): a struct
+// field declared with a sync/atomic type is shared state and must only
+// be touched through atomic method calls — Load, Store, Add, Swap,
+// CompareAndSwap — never read or written as a plain field and never
+// address-taken into a plain pointer. The per-worker localState half is
+// deliberately plain (only its owner touches it); this analyzer is what
+// keeps the two halves from being mixed up during refactors.
+//
+// The check runs without full type checking (x/tools is not vendored):
+// struct fields of atomic type are indexed per package, and receiver,
+// parameter, var and short-var declarations give enough local type
+// inference to resolve the selector bases that matter. Unresolvable
+// expressions are skipped, so the analyzer under-approximates instead of
+// false-positiving.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "sync/atomic struct fields must be accessed only through atomic method calls",
+	Run:  runAtomicField,
+}
+
+// atomicMethods are the sync/atomic value methods that constitute legal
+// access.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+func runAtomicField(p *Package) []Diagnostic {
+	idx := indexStructs(p)
+	if len(idx.atomic) == 0 {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			diags = append(diags, checkFunc(p, idx, fn)...)
+		}
+	}
+	return diags
+}
+
+// structIndex records, per package, each struct's field types and which
+// fields are atomic.
+type structIndex struct {
+	// fields[struct][field] = rendered type ("atomic.Int64",
+	// "[]sharedState", "*submitter", ...).
+	fields map[string]map[string]string
+	// atomic[struct] = set of atomic-typed field names.
+	atomic map[string]map[string]bool
+}
+
+func indexStructs(p *Package) *structIndex {
+	idx := &structIndex{fields: map[string]map[string]string{}, atomic: map[string]map[string]bool{}}
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fields := map[string]string{}
+			atomics := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				t := renderType(fld.Type)
+				for _, name := range fld.Names {
+					fields[name.Name] = t
+					if strings.HasPrefix(t, "atomic.") {
+						atomics[name.Name] = true
+					}
+				}
+			}
+			idx.fields[ts.Name.Name] = fields
+			if len(atomics) > 0 {
+				idx.atomic[ts.Name.Name] = atomics
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// checkFunc flags illegal atomic-field accesses within one function.
+func checkFunc(p *Package, idx *structIndex, fn *ast.FuncDecl) []Diagnostic {
+	res := &resolver{idx: idx, bindings: map[string]ast.Expr{}, types: map[string]string{}}
+	res.bindFieldList(fn.Recv)
+	if fn.Type.Params != nil {
+		res.bindFieldList(fn.Type.Params)
+	}
+	if fn.Type.Results != nil {
+		res.bindFieldList(fn.Type.Results)
+	}
+	res.collect(fn.Body)
+
+	// First pass: mark the field selectors that appear as the receiver
+	// of an atomic method call — the legal form.
+	legal := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !atomicMethods[method.Sel.Name] {
+			return true
+		}
+		if fieldSel, ok := method.X.(*ast.SelectorExpr); ok {
+			legal[fieldSel] = true
+		}
+		return true
+	})
+
+	// Second pass: every selector resolving to an atomic field must have
+	// been marked legal.
+	var diags []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || legal[sel] {
+			return true
+		}
+		base := strings.TrimPrefix(res.typeOf(sel.X), "*")
+		if fields, ok := idx.atomic[base]; ok && fields[sel.Sel.Name] {
+			diags = append(diags, Diagnostic{
+				Analyzer: "atomicfield",
+				Pos:      p.Fset.Position(sel.Pos()),
+				Message: "field " + base + "." + sel.Sel.Name +
+					" has a sync/atomic type and must be accessed through atomic method calls only",
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+// resolver performs flat, best-effort local type inference: identifier →
+// declared or assigned expression → rendered type. Closures share the
+// enclosing function's namespace (Go shadowing is ignored — acceptable
+// for a lint that skips what it cannot resolve).
+type resolver struct {
+	idx      *structIndex
+	bindings map[string]ast.Expr // name -> defining value expression
+	types    map[string]string   // name -> resolved (memoized) type
+}
+
+func (r *resolver) bindFieldList(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := renderType(f.Type)
+		for _, name := range f.Names {
+			r.types[name.Name] = t
+		}
+	}
+}
+
+// collect gathers binding sites in the function body: var declarations,
+// short variable declarations, assignments and range statements.
+func (r *resolver) collect(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				t := renderType(n.Type)
+				for _, name := range n.Names {
+					r.types[name.Name] = t
+				}
+			} else if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					r.bind(name.Name, n.Values[i])
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						r.bind(id.Name, n.Rhs[i])
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if v, ok := n.Value.(*ast.Ident); ok && v.Name != "_" {
+				r.bindings[v.Name] = &ast.IndexExpr{X: n.X, Index: n.Key}
+			}
+		case *ast.FuncLit:
+			r.bindFieldList(n.Type.Params)
+			if n.Type.Results != nil {
+				r.bindFieldList(n.Type.Results)
+			}
+		}
+		return true
+	})
+}
+
+func (r *resolver) bind(name string, value ast.Expr) {
+	if name == "_" {
+		return
+	}
+	if _, done := r.types[name]; done {
+		return // keep the declared type
+	}
+	if _, seen := r.bindings[name]; !seen {
+		r.bindings[name] = value
+	}
+}
+
+// typeOf renders the type of expr, or "" when it cannot be resolved.
+func (r *resolver) typeOf(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if t, ok := r.types[e.Name]; ok {
+			return t
+		}
+		if def, ok := r.bindings[e.Name]; ok {
+			delete(r.bindings, e.Name) // cycle guard
+			t := r.typeOf(def)
+			r.bindings[e.Name] = def
+			if t != "" {
+				r.types[e.Name] = t
+			}
+			return t
+		}
+	case *ast.ParenExpr:
+		return r.typeOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if t := r.typeOf(e.X); t != "" {
+				return "*" + t
+			}
+		}
+	case *ast.StarExpr:
+		return strings.TrimPrefix(r.typeOf(e.X), "*")
+	case *ast.SelectorExpr:
+		base := strings.TrimPrefix(r.typeOf(e.X), "*")
+		if fields, ok := r.idx.fields[base]; ok {
+			return fields[e.Sel.Name]
+		}
+	case *ast.IndexExpr:
+		t := r.typeOf(e.X)
+		if strings.HasPrefix(t, "[]") {
+			return t[2:]
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && len(e.Args) > 0 {
+			switch id.Name {
+			case "make":
+				return renderType(e.Args[0])
+			case "new":
+				if t := renderType(e.Args[0]); t != "" {
+					return "*" + t
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		if e.Type != nil {
+			return renderType(e.Type)
+		}
+	}
+	return ""
+}
+
+// renderType renders a type expression to the canonical strings the
+// resolver compares ("T", "*T", "[]T", "pkg.T").
+func renderType(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		if pkg, ok := t.X.(*ast.Ident); ok {
+			return pkg.Name + "." + t.Sel.Name
+		}
+	case *ast.StarExpr:
+		if inner := renderType(t.X); inner != "" {
+			return "*" + inner
+		}
+	case *ast.ArrayType:
+		if inner := renderType(t.Elt); inner != "" {
+			return "[]" + inner
+		}
+	case *ast.ParenExpr:
+		return renderType(t.X)
+	}
+	return ""
+}

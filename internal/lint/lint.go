@@ -1,0 +1,202 @@
+// Package lint holds the runtime's custom source analyzers: checks for
+// protocol invariants of the engine implementation that the compiler and
+// go vet cannot express, in the style of golang.org/x/tools/go/analysis.
+//
+// The x/tools analysis framework is not vendored into this module, so
+// the package ships its own minimal driver over the standard library's
+// go/ast: analyzers receive one parsed package at a time and return
+// position-annotated diagnostics. They run two ways:
+//
+//   - cmd/rio-lint, a vet-style CLI over the repository tree (wired into
+//     CI), and
+//   - TestRepoIsLintClean in this package, so `go test ./...` already
+//     enforces the invariants locally.
+//
+// Current analyzers:
+//
+//   - waitcancel: poll loops in the engines (anything sleeping or
+//     yielding while waiting on shared state) must check the
+//     run-abort/cancellation state, or a dependency held by a failed
+//     worker blocks forever;
+//   - atomicfield: struct fields declared with a sync/atomic type must
+//     only be touched through atomic method calls (Load/Store/Add/...),
+//     never read or written as plain fields — the shared half of the
+//     per-data protocol state is exactly such a struct.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file of a package.
+type File struct {
+	Path string
+	AST  *ast.File
+}
+
+// Package is the unit an analyzer runs on: every non-test file of one
+// directory-level package, sharing a FileSet.
+type Package struct {
+	Fset  *token.FileSet
+	Name  string
+	Dir   string
+	Files []*File
+}
+
+// Analyzer is one invariant check over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics.
+	Name string
+	// Doc is the one-line description shown by rio-lint.
+	Doc string
+	// Packages restricts the analyzer to package names; nil means every
+	// package.
+	Packages []string
+	// Run analyzes one package.
+	Run func(p *Package) []Diagnostic
+}
+
+func (a *Analyzer) applies(pkgName string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if p == pkgName {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns every analyzer of the runtime.
+func All() []*Analyzer { return []*Analyzer{WaitCancel, AtomicField} }
+
+// Dir walks root recursively, groups non-test .go files into packages
+// and runs the analyzers. Hidden directories, testdata and vendor trees
+// are skipped.
+func Dir(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		byDir[dir] = append(byDir[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := parsePackage(dir, byDir[dir])
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, Run(pkg, analyzers)...)
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// Run applies the analyzers matching pkg's name.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.applies(pkg.Name) {
+			diags = append(diags, a.Run(pkg)...)
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// Source parses one file's source into a single-file package — the test
+// entry point for feeding analyzers synthetic code.
+func Source(filename, src string) (*Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Fset:  fset,
+		Name:  f.Name.Name,
+		Dir:   filepath.Dir(filename),
+		Files: []*File{{Path: filename, AST: f}},
+	}, nil
+}
+
+func parsePackage(dir string, paths []string) (*Package, error) {
+	sort.Strings(paths)
+	fset := token.NewFileSet()
+	pkg := &Package{Fset: fset, Dir: dir}
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		// A directory can legally hold one package plus documentation
+		// mains; keep the majority package (first seen wins, mirrors the
+		// go tool's one-package-per-directory rule closely enough for
+		// linting).
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		}
+		if f.Name.Name != pkg.Name {
+			continue
+		}
+		pkg.Files = append(pkg.Files, &File{Path: path, AST: f})
+	}
+	return pkg, nil
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,201 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rio/internal/lint"
+)
+
+// lintSource runs every analyzer over one synthetic file.
+func lintSource(t *testing.T, filename, src string) []lint.Diagnostic {
+	t.Helper()
+	pkg, err := lint.Source(filename, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return lint.Run(pkg, lint.All())
+}
+
+func hasAnalyzer(diags []lint.Diagnostic, name string) bool {
+	for _, d := range diags {
+		if d.Analyzer == name {
+			return true
+		}
+	}
+	return false
+}
+
+// The repository's own source must satisfy its protocol invariants —
+// the same check CI runs via cmd/rio-lint.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Dir(root, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func TestWaitCancelFlagsUncheckedPollLoop(t *testing.T) {
+	src := `package core
+
+import "time"
+
+func spin(cond func() bool) {
+	for !cond() {
+		time.Sleep(time.Microsecond)
+	}
+}
+`
+	diags := lintSource(t, "core/bad.go", src)
+	if !hasAnalyzer(diags, "waitcancel") {
+		t.Fatalf("want a waitcancel diagnostic, got %v", diags)
+	}
+}
+
+func TestWaitCancelAcceptsAbortingPollLoop(t *testing.T) {
+	src := `package core
+
+import "time"
+
+func spin(cond func() bool, abort func() bool) {
+	for !cond() {
+		if abort() {
+			return
+		}
+		time.Sleep(time.Microsecond)
+	}
+}
+`
+	if diags := lintSource(t, "core/good.go", src); hasAnalyzer(diags, "waitcancel") {
+		t.Fatalf("clean poll loop flagged: %v", diags)
+	}
+}
+
+func TestWaitCancelIgnoresOtherPackages(t *testing.T) {
+	src := `package faultinject
+
+import "time"
+
+func slow() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}
+`
+	if diags := lintSource(t, "faultinject/f.go", src); hasAnalyzer(diags, "waitcancel") {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+}
+
+func TestAtomicFieldFlagsPlainAccess(t *testing.T) {
+	src := `package core
+
+import "sync/atomic"
+
+type sharedState struct {
+	lastWrite atomic.Int64
+	plain     int64
+}
+
+func (s *sharedState) bad() int64 {
+	return int64(s.lastWrite.Load()) + s.plain + readRaw(s)
+}
+
+func readRaw(s *sharedState) int64 {
+	_ = s.lastWrite // plain read of an atomic field
+	return 0
+}
+`
+	diags := lintSource(t, "core/bad.go", src)
+	if !hasAnalyzer(diags, "atomicfield") {
+		t.Fatalf("want an atomicfield diagnostic, got %v", diags)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "plain int64") {
+			t.Fatalf("plain field flagged: %s", d)
+		}
+	}
+}
+
+func TestAtomicFieldResolvesLocalBindings(t *testing.T) {
+	src := `package core
+
+import "sync/atomic"
+
+type sharedState struct {
+	ctr atomic.Int64
+}
+
+type engine struct {
+	shared []sharedState
+}
+
+func (e *engine) bad(i int) {
+	sh := &e.shared[i]
+	sh.ctr = atomic.Int64{} // plain write through a derived local
+}
+`
+	diags := lintSource(t, "core/derived.go", src)
+	if !hasAnalyzer(diags, "atomicfield") {
+		t.Fatalf("want an atomicfield diagnostic through local inference, got %v", diags)
+	}
+}
+
+func TestAtomicFieldAcceptsMethodCalls(t *testing.T) {
+	src := `package core
+
+import "sync/atomic"
+
+type sharedState struct {
+	ctr atomic.Int64
+}
+
+func (s *sharedState) good() {
+	s.ctr.Add(1)
+	if s.ctr.Load() > 3 {
+		s.ctr.Store(0)
+	}
+	s.ctr.CompareAndSwap(1, 2)
+}
+
+func viaSlice(shared []sharedState, i int) int64 {
+	return shared[i].ctr.Load()
+}
+`
+	if diags := lintSource(t, "core/good.go", src); len(diags) != 0 {
+		t.Fatalf("clean atomic usage flagged: %v", diags)
+	}
+}
+
+// The plain localState half must not be flagged even though its fields
+// share names with sharedState's atomic fields — the analyzer must
+// distinguish the receivers by type, not by field name.
+func TestAtomicFieldDistinguishesTwinStructs(t *testing.T) {
+	src := `package core
+
+import "sync/atomic"
+
+type sharedState struct {
+	nbReads atomic.Int64
+}
+
+type localState struct {
+	nbReads int64
+}
+
+func (l *localState) fine() {
+	l.nbReads++
+}
+`
+	if diags := lintSource(t, "core/twin.go", src); len(diags) != 0 {
+		t.Fatalf("plain twin struct flagged: %v", diags)
+	}
+}

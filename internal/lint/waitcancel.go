@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WaitCancel enforces the engines' liveness invariant from PR 1's run
+// hardening: any poll loop — a for loop that sleeps or yields while
+// re-checking shared state — must also poll the run-abort/cancellation
+// state. A dependency produced by a worker that panicked, stalled or was
+// canceled never resolves; a poll loop that does not check for the abort
+// flag turns that failure into a hang instead of an error.
+//
+// The check is syntactic: a for statement whose body calls time.Sleep or
+// runtime.Gosched must, somewhere in the same statement, reference the
+// cancellation state — an identifier or selector whose name contains
+// "abort", "cancel" or "done", equals "ctx" or "err", or a call to a
+// method named "raised".
+var WaitCancel = &Analyzer{
+	Name:     "waitcancel",
+	Doc:      "poll loops in the engines must check the run-abort/cancellation state",
+	Packages: []string{"core", "centralized"},
+	Run:      runWaitCancel,
+}
+
+func runWaitCancel(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if loopPolls(loop) && !checksAbort(loop) {
+				diags = append(diags, Diagnostic{
+					Analyzer: "waitcancel",
+					Pos:      p.Fset.Position(loop.Pos()),
+					Message: "poll loop sleeps or yields without checking the run-abort/cancellation state; " +
+						"a dependency held by a failed worker would block it forever",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// loopPolls reports whether the loop body sleeps or yields — the
+// signature of a dependency poll loop.
+func loopPolls(loop *ast.ForStmt) bool {
+	found := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if (pkg.Name == "time" && sel.Sel.Name == "Sleep") ||
+			(pkg.Name == "runtime" && sel.Sel.Name == "Gosched") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checksAbort reports whether the loop references cancellation state.
+func checksAbort(loop *ast.ForStmt) bool {
+	found := false
+	consider := func(name string) {
+		lower := strings.ToLower(name)
+		switch {
+		case name == "ctx" || name == "err" || name == "raised":
+			found = true
+		case strings.Contains(lower, "abort"), strings.Contains(lower, "cancel"),
+			strings.Contains(lower, "done"):
+			found = true
+		}
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			consider(n.Name)
+		case *ast.SelectorExpr:
+			consider(n.Sel.Name)
+		}
+		return !found
+	})
+	return found
+}

@@ -24,8 +24,13 @@ type RaceDetector struct {
 	state []atomic.Int32
 
 	mu         sync.Mutex
-	violations []string
+	violations []string // first maxViolations, for the reports
+	total      int      // every violation, including unrecorded ones
 }
+
+// maxViolations caps the stored descriptions; the total count keeps
+// counting past it.
+const maxViolations = 16
 
 // NewRaceDetector returns a detector for numData data objects.
 func NewRaceDetector(numData int) *RaceDetector {
@@ -85,19 +90,31 @@ func (r *RaceDetector) exit(a stf.Access) {
 func (r *RaceDetector) report(msg string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.violations) < 16 {
+	r.total++
+	if len(r.violations) < maxViolations {
 		r.violations = append(r.violations, msg)
 	}
 }
 
 // Err returns an error describing the first detected conflicts, or nil.
+// The count is the true total, which can exceed the number of recorded
+// descriptions.
 func (r *RaceDetector) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.violations) == 0 {
+	if r.total == 0 {
 		return nil
 	}
-	return fmt.Errorf("trace: %d data-race violations, first: %s", len(r.violations), r.violations[0])
+	return fmt.Errorf("trace: %d data-race violations (%d recorded), first: %s",
+		r.total, len(r.violations), r.violations[0])
+}
+
+// Total returns the number of violations detected, including those beyond
+// the recording cap.
+func (r *RaceDetector) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
 }
 
 // Violations returns the recorded conflict descriptions.

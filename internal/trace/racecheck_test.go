@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rio/internal/stf"
+)
+
+// The detector stores at most maxViolations descriptions, but the error
+// must report the true total — the cap is a memory bound, not a count
+// bound.
+func TestRaceDetectorCountsPastTheRecordingCap(t *testing.T) {
+	r := NewRaceDetector(1)
+	const n = maxViolations + 9
+	for i := 0; i < n; i++ {
+		r.report(fmt.Sprintf("violation %d", i))
+	}
+	if got := r.Total(); got != n {
+		t.Fatalf("Total() = %d, want %d", got, n)
+	}
+	if got := len(r.Violations()); got != maxViolations {
+		t.Fatalf("recorded %d descriptions, want cap %d", got, maxViolations)
+	}
+	err := r.Err()
+	if err == nil {
+		t.Fatal("Err() = nil after violations")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, fmt.Sprintf("%d data-race violations", n)) {
+		t.Fatalf("error does not carry the true total: %q", msg)
+	}
+	if !strings.Contains(msg, fmt.Sprintf("(%d recorded)", maxViolations)) {
+		t.Fatalf("error does not state how many were recorded: %q", msg)
+	}
+	if !strings.Contains(msg, "violation 0") {
+		t.Fatalf("error does not show the first violation: %q", msg)
+	}
+}
+
+func TestRaceDetectorCleanRun(t *testing.T) {
+	r := NewRaceDetector(2)
+	k := r.Instrument(func(*stf.Task, stf.WorkerID) {})
+	task := &stf.Task{ID: 0, Accesses: []stf.Access{stf.RW(0), stf.R(1)}}
+	k(task, 0)
+	k(task, 0)
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean serialized run reported: %v", err)
+	}
+	if r.Total() != 0 {
+		t.Fatalf("Total() = %d on a clean run", r.Total())
+	}
+}
+
+// Entering a write access while another task holds the object must be
+// detected and counted through the instrumented path, not just report().
+func TestRaceDetectorDetectsOverlap(t *testing.T) {
+	r := NewRaceDetector(1)
+	t0 := &stf.Task{ID: 0, Accesses: []stf.Access{stf.W(0)}}
+	t1 := &stf.Task{ID: 1, Accesses: []stf.Access{stf.W(0)}}
+	r.enter(t0, t0.Accesses[0])
+	r.enter(t1, t1.Accesses[0]) // overlapping writer: violation
+	r.exit(t0.Accesses[0])
+	if r.Total() != 1 {
+		t.Fatalf("Total() = %d, want 1", r.Total())
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "1 data-race violations") {
+		t.Fatalf("Err() = %v", err)
+	}
+}

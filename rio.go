@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"time"
 
+	"rio/internal/analyze"
 	"rio/internal/centralized"
 	"rio/internal/core"
 	"rio/internal/sequential"
@@ -85,6 +86,38 @@ type (
 	// DivergenceError reports that the in-order engine's workers did not
 	// replay the same task flow (the program is nondeterministic).
 	DivergenceError = stf.DivergenceError
+
+	// PreflightPasses selects the static-analysis passes Options.Preflight
+	// runs before every Run (see internal/analyze).
+	PreflightPasses = analyze.Passes
+	// PreflightError is returned by Run when preflight analysis rejects
+	// the program before any worker starts; its Report field carries every
+	// finding (use errors.As).
+	PreflightError = analyze.PreflightError
+	// AnalysisReport is the full outcome of a preflight analysis.
+	AnalysisReport = analyze.Report
+	// Finding is one diagnostic of a preflight analysis.
+	Finding = analyze.Finding
+)
+
+// Preflight pass selectors; combine with | or use PreflightAll.
+const (
+	// PreflightAccess lints access declarations: malformed or duplicate
+	// accesses, reads of never-written data, dead writes, unused data.
+	PreflightAccess = analyze.PassAccess
+	// PreflightMapping validates the static mapping: out-of-range
+	// workers, load imbalance, and (in-order engine) mapping-induced
+	// serialization of the dependency graph.
+	PreflightMapping = analyze.PassMapping
+	// PreflightDeterminism replays the program several times in record
+	// mode and rejects structurally diverging replays — the static
+	// complement of the runtime divergence guard.
+	PreflightDeterminism = analyze.PassDeterminism
+	// PreflightSpec model-checks small instances against the formal
+	// specification (internal/spec); larger instances are skipped.
+	PreflightSpec = analyze.PassSpec
+	// PreflightAll runs every pass.
+	PreflightAll = analyze.PassAll
 )
 
 // Stall kinds reported by the watchdog.
@@ -198,6 +231,15 @@ type Options struct {
 	// programs; see DESIGN.md "Failure semantics"). Other engines have no
 	// replay to guard and ignore it.
 	NoGuard bool
+	// Preflight, when non-zero, runs the selected static-analysis passes
+	// (internal/analyze) over the program in record mode before every
+	// Run: the program is recorded once — no task body executes — and
+	// findings of Warning or Error severity reject the run with a
+	// *PreflightError before any worker starts. Defects the engines
+	// would otherwise surface mid-run (nondeterministic replays, broken
+	// or serializing mappings, malformed accesses) are caught at
+	// submission time instead. See PreflightAccess … PreflightAll.
+	Preflight PreflightPasses
 }
 
 // Runtime executes STF programs under one execution model.
@@ -228,6 +270,9 @@ func New(o Options) (Runtime, error) {
 	rt, err := newEngine(o)
 	if err != nil {
 		return nil, err
+	}
+	if o.Preflight != 0 {
+		rt = &preflightRuntime{Runtime: rt, opts: o}
 	}
 	if o.Timeout > 0 {
 		rt = &deadlineRuntime{Runtime: rt, timeout: o.Timeout}
@@ -283,6 +328,41 @@ func (d *deadlineRuntime) RunContext(ctx context.Context, numData int, prog Prog
 	ctx, cancel := context.WithTimeout(ctx, d.timeout)
 	defer cancel()
 	return d.Runtime.RunContext(ctx, numData, prog)
+}
+
+// preflightRuntime runs the selected static-analysis passes over the
+// program before handing it to the wrapped engine. Recording executes no
+// task body, so a rejected program has no side effects beyond those of
+// the submission closure itself.
+type preflightRuntime struct {
+	Runtime
+	opts Options
+}
+
+func (p *preflightRuntime) Run(numData int, prog Program) error {
+	return p.RunContext(context.Background(), numData, prog)
+}
+
+func (p *preflightRuntime) RunContext(ctx context.Context, numData int, prog Program) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("rio: run not started: %w", context.Cause(ctx))
+	}
+	cfg := analyze.Config{
+		Passes:  p.opts.Preflight,
+		Workers: p.Runtime.NumWorkers(),
+		Mapping: p.opts.Mapping,
+		InOrder: p.opts.Model == InOrder,
+	}
+	if cfg.Mapping == nil && p.opts.Model == InOrder {
+		// Mirror the engine's own default so the mapping pass analyzes
+		// what will actually run.
+		cfg.Mapping = CyclicMapping(cfg.Workers)
+	}
+	report, _ := analyze.Program(numData, prog, cfg)
+	if report.Reject() {
+		return &PreflightError{Report: report}
+	}
+	return p.Runtime.RunContext(ctx, numData, prog)
 }
 
 // CyclicMapping maps task id to worker id mod p — the default mapping of

@@ -1,6 +1,7 @@
 package rio_test
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 
@@ -250,6 +251,135 @@ func TestOwnerComputesThroughPublicAPI(t *testing.T) {
 	g := graphs.Cholesky(5)
 	m := sched.OwnerComputes(g, sched.NewGrid2D(4))
 	rt, err := rio.New(rio.Options{Model: rio.InOrder, Workers: 4, Mapping: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enginetest.Check(rt, g); err != nil {
+		t.Error(err)
+	}
+}
+
+// preflightDefects are the acceptance defect programs: each must be
+// rejected by Options.Preflight before any task body runs.
+var preflightDefects = []struct {
+	name    string
+	numData int
+	opts    rio.Options
+	prog    func(ran *atomic.Bool) rio.Program
+	want    string
+}{
+	{
+		name:    "uninitialized read",
+		numData: 1,
+		opts:    rio.Options{Workers: 2, Preflight: rio.PreflightAccess},
+		prog: func(ran *atomic.Bool) rio.Program {
+			return func(s rio.Submitter) {
+				s.Submit(func() { ran.Store(true) }, rio.Read(0))
+				s.Submit(func() { ran.Store(true) }, rio.Write(0))
+			}
+		},
+		want: "RIO-A010",
+	},
+	{
+		name:    "dead write",
+		numData: 1,
+		opts:    rio.Options{Workers: 2, Preflight: rio.PreflightAccess},
+		prog: func(ran *atomic.Bool) rio.Program {
+			return func(s rio.Submitter) {
+				s.Submit(func() { ran.Store(true) }, rio.Write(0))
+				s.Submit(func() { ran.Store(true) }, rio.Write(0))
+				s.Submit(func() { ran.Store(true) }, rio.Read(0))
+			}
+		},
+		want: "RIO-A012",
+	},
+	{
+		name:    "out-of-range mapping",
+		numData: 1,
+		opts: rio.Options{Workers: 2, Preflight: rio.PreflightMapping,
+			Mapping: func(rio.TaskID) rio.WorkerID { return 9 }},
+		prog: func(ran *atomic.Bool) rio.Program {
+			return func(s rio.Submitter) {
+				s.Submit(func() { ran.Store(true) }, rio.Write(0))
+				s.Submit(func() { ran.Store(true) }, rio.RW(0))
+			}
+		},
+		want: "RIO-M001",
+	},
+	{
+		name:    "serialized wavefront mapping",
+		numData: 16,
+		opts: rio.Options{Workers: 4, Preflight: rio.PreflightMapping,
+			Mapping: func(rio.TaskID) rio.WorkerID { return 0 }},
+		prog: func(ran *atomic.Bool) rio.Program {
+			g := graphs.Wavefront(4, 4)
+			return func(s rio.Submitter) {
+				for i := range g.Tasks {
+					s.Submit(func() { ran.Store(true) }, g.Tasks[i].Accesses...)
+				}
+			}
+		},
+		want: "RIO-M004",
+	},
+}
+
+func TestPreflightRejectsDefectsBeforeAnyTaskRuns(t *testing.T) {
+	for _, tc := range preflightDefects {
+		t.Run(tc.name, func(t *testing.T) {
+			rt, err := rio.New(tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ran atomic.Bool
+			err = rt.Run(tc.numData, tc.prog(&ran))
+			var pf *rio.PreflightError
+			if !errors.As(err, &pf) {
+				t.Fatalf("want *rio.PreflightError, got %v", err)
+			}
+			found := false
+			for _, f := range pf.Report.Findings {
+				if string(f.Code) == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want a %s finding, got %+v", tc.want, pf.Report.Findings)
+			}
+			if ran.Load() {
+				t.Fatal("a task body ran despite the preflight rejection")
+			}
+		})
+	}
+}
+
+func TestPreflightRejectsNondeterministicProgram(t *testing.T) {
+	rt, err := rio.New(rio.Options{Workers: 2, Preflight: rio.PreflightDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay atomic.Int64
+	prog := func(s rio.Submitter) {
+		n := replay.Add(1)
+		s.Submit(nil, rio.Write(0))
+		if n%2 == 1 {
+			s.Submit(nil, rio.Read(0))
+		} else {
+			s.Submit(nil, rio.RW(0))
+		}
+	}
+	err = rt.Run(1, prog)
+	var pf *rio.PreflightError
+	if !errors.As(err, &pf) {
+		t.Fatalf("want *rio.PreflightError, got %v", err)
+	}
+	if !pf.Report.Has("RIO-D001") {
+		t.Fatalf("want RIO-D001, got %+v", pf.Report.Findings)
+	}
+}
+
+func TestPreflightPassesCleanProgramsThrough(t *testing.T) {
+	g := graphs.LU(4)
+	rt, err := rio.New(rio.Options{Workers: 4, Preflight: rio.PreflightAll})
 	if err != nil {
 		t.Fatal(err)
 	}
