@@ -349,6 +349,65 @@ func BenchmarkGuardOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledReplay — the replay term n·t_r of cost model (2), paid
+// per run under closure replay and hoisted to compile time by the
+// compiled fast path. The Fig 7 weak-scaling workload (independent tasks,
+// cyclic mapping) with empty bodies makes the run almost pure replay
+// overhead, so ns/task compares t_r directly across the variants.
+func BenchmarkCompiledReplay(b *testing.B) {
+	// Paper-scale flow (§5.2 uses 32768 tasks per worker): long enough
+	// that replay work, not the per-run goroutine spawn, dominates.
+	g := graphs.Independent(32768)
+	noop := func(*stf.Task, stf.WorkerID) {}
+	m := rio.CyclicMapping(benchWorkers)
+	perTask := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(g.Tasks)), "ns/task")
+	}
+
+	// NoAccounting everywhere: two time.Now calls per executed task would
+	// otherwise floor every variant at the clock cost (that is what the
+	// option is for — overhead micro-measurements).
+	b.Run("closure", func(b *testing.B) {
+		rt, err := rio.New(rio.Options{Model: rio.InOrder, Workers: benchWorkers, Mapping: m, NoAccounting: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := rio.Replay(g, noop)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rt.Run(g.NumData, prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		perTask(b)
+	})
+	for _, v := range []struct {
+		name  string
+		prune bool
+	}{{"compiled", false}, {"compiled-pruned", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			e, err := rio.NewEngine(rio.Options{Workers: benchWorkers, Mapping: m, Prune: v.prune, NoAccounting: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Compile outside the timed region: the point of the fast
+			// path is that iterative workloads pay unrolling once.
+			if err := e.RunGraph(g, noop); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.RunGraph(g, noop); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perTask(b)
+		})
+	}
+}
+
 // BenchmarkDeclareOverhead measures the paper's headline micro-cost: the
 // per-task price a RIO worker pays for a task it does NOT execute (§3.3
 // promises one or two private-memory writes per dependency). A single

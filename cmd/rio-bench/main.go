@@ -13,6 +13,9 @@
 //	rio-bench costmodel  fit & validate cost models, eq. (1)/(2)
 //	rio-bench ablation   design-choice ablations (scheduler, window, spin,
 //	                     mapping quality, sparse trees, trace overhead)
+//	rio-bench replay     replay-path ablation on the fig7 workload: closure
+//	                     replay vs compiled per-worker instruction streams
+//	                     (plus guard-off and compile-time-pruned variants)
 //	rio-bench all        fig2..fig8 + costmodel (run sim/sim7/hpl/ablation
 //	                     separately; they have their own time budgets)
 //
@@ -56,7 +59,7 @@ func run(args []string) error {
 		exp        = fs.Int("experiment", 0, "fig8 only: restrict to one experiment 1..4 (0 = all)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|all}")
+		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|replay|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -148,6 +151,11 @@ func run(args []string) error {
 		err = addRows(bench.Ablations(bench.AblationConfig{
 			Workers: *workers, Warmup: *warmup, Reps: *reps,
 			TaskSize: 200, Tasks: *tasks,
+		}))
+	case "replay":
+		err = addRows(bench.ReplayAblation(bench.ReplayConfig{
+			Workers: *workers, TasksPerWorker: *perW, TaskSize: *f7size,
+			Warmup: *warmup, Reps: *reps,
 		}))
 	case "costmodel":
 		rep, cerr := bench.CostModel(ccfg)

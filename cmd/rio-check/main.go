@@ -15,6 +15,17 @@
 // -timeout D those executions are bounded and a diverging or wedged run is
 // reported as a structured stall/divergence diagnosis instead of hanging
 // the checker.
+//
+// Exit status: 0 when every property holds, 1 when the checker found
+// violations (in the model or in real execution), 2 on usage or internal
+// errors — the same contract as rio-vet, so CI scripts can distinguish "the
+// tool found a bug" from "the tool could not run".
+//
+// The -unsound flag checks a deliberately broken Run-In-Order model (the
+// get_write read-count wait of Algorithm 2 is dropped) on a flow full of
+// write-after-read hazards, as a negative control: a healthy checker must
+// exit 1 on it. (LU itself is unsuitable for this control — its tiles are
+// never rewritten after being read, so the mutation is invisible there.)
 package main
 
 import (
@@ -35,13 +46,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	violations, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rio-check:", err)
+		os.Exit(2)
+	}
+	if violations {
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run performs the checks and reports its outcome on two axes, mirroring
+// rio-vet: err covers usage and internal failures (exit 2), violations
+// covers genuine findings (exit 1). A finding is never reported through
+// err, so scripts can rely on the distinction.
+func run(args []string) (violations bool, err error) {
 	fs := flag.NewFlagSet("rio-check", flag.ContinueOnError)
 	sizesFlag := fs.String("sizes", "2x2,3x2,3x3", "comma-separated LU tile-grid sizes (RxC)")
 	workload := fs.String("workload", "lu", "task flow to check: lu | cholesky | gemm | wavefront | chain | random (the paper checks lu only; nothing in the method is LU-specific)")
@@ -51,21 +70,27 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "sampling seed")
 	execRuns := fs.Int("exec", 0, "if > 0, additionally execute each instance this many times on the real in-order engine against the sequential-consistency oracle")
 	timeout := fs.Duration("timeout", 0, "bound each -exec run: the run is canceled at the deadline and the stall watchdog (armed at half the timeout) turns a hung run into a stall diagnosis")
+	unsound := fs.Bool("unsound", false, "negative control: check a deliberately broken Run-In-Order model (read-count wait dropped) on a WAR-hazard flow; a healthy checker reports violations and exits 1")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return false, err
 	}
 	if *timeout < 0 {
-		return fmt.Errorf("negative -timeout %v", *timeout)
+		return false, fmt.Errorf("negative -timeout %v", *timeout)
+	}
+	if *unsound && *execRuns > 0 {
+		return false, fmt.Errorf("-unsound cannot be combined with -exec (the real engine has no unsound mode)")
 	}
 	var rows []spec.Table1Row
 	var sizes [][2]int
-	var err error
-	if *workload != "lu" {
+	switch {
+	case *unsound:
+		rows, err = unsoundControl(*workers, *seed)
+	case *workload != "lu":
 		rows, err = checkWorkload(*workload, *size, *workers, *sample, *seed)
-	} else {
+	default:
 		sizes, err = analyze.ParseSizes(*sizesFlag)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if *sample > 0 {
 			rows, err = sampleTable(sizes, *workers, *sample, *seed)
@@ -74,7 +99,7 @@ func run(args []string) error {
 		}
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -91,10 +116,11 @@ func run(args []string) error {
 		}
 	}
 	if err := tw.Flush(); err != nil {
-		return err
+		return false, err
 	}
 	if !ok {
-		return fmt.Errorf("property violations found")
+		fmt.Println("property violations found")
+		return true, nil
 	}
 	if *sample > 0 {
 		fmt.Printf("no violations in %d sampled executions per model: data-race freedom, progress, per-step STF readiness\n", *sample)
@@ -111,7 +137,7 @@ func run(args []string) error {
 		if *workload != "lu" {
 			g, err := analyze.WorkloadGraph(*workload, *size, *seed)
 			if err != nil {
-				return err
+				return false, err
 			}
 			insts = append(insts, instance{fmt.Sprintf("%s-%d", *workload, *size), g})
 		} else {
@@ -121,13 +147,28 @@ func run(args []string) error {
 		}
 		for _, in := range insts {
 			if err := execCheck(in.g, *workers, *execRuns, *timeout); err != nil {
-				return fmt.Errorf("%s: real execution: %w", in.name, err)
+				// A misbehaving run — consistency mismatch, stall or
+				// divergence diagnosis — is a finding about the engine,
+				// not a tool failure: report it and exit 1, not 2.
+				var f *execFinding
+				if errors.As(err, &f) {
+					fmt.Printf("%s: real execution: %v\n", in.name, err)
+					return true, nil
+				}
+				return false, fmt.Errorf("%s: real execution: %w", in.name, err)
 			}
 		}
 		fmt.Printf("executed each instance %d time(s) on the in-order engine: sequential consistency verified\n", *execRuns)
 	}
-	return nil
+	return false, nil
 }
+
+// execFinding marks an execCheck error as a genuine finding (the engine
+// misbehaved) rather than a tool failure (the check could not run).
+type execFinding struct{ err error }
+
+func (f *execFinding) Error() string { return f.err.Error() }
+func (f *execFinding) Unwrap() error { return f.err }
 
 // execCheck runs g on the real in-order engine against the
 // sequential-consistency oracle. A positive timeout bounds each run and
@@ -152,16 +193,39 @@ func execCheck(g *stf.Graph, workers, runs int, timeout time.Duration) error {
 		if err := enginetest.Check(rt, g); err != nil {
 			var st *rio.StallError
 			if errors.As(err, &st) {
-				return fmt.Errorf("stall diagnosis: %w", err)
+				return &execFinding{fmt.Errorf("stall diagnosis: %w", err)}
 			}
 			var div *rio.DivergenceError
 			if errors.As(err, &div) {
-				return fmt.Errorf("divergence diagnosis: %w", err)
+				return &execFinding{fmt.Errorf("divergence diagnosis: %w", err)}
 			}
-			return err
+			return &execFinding{err}
 		}
 	}
 	return nil
+}
+
+// unsoundControl checks the SkipReadBlockers mutation — the Run-In-Order
+// model minus the get_write read-count wait of Algorithm 2 — on a small
+// random-dependency flow full of write-after-read hazards. It exists as a
+// negative control: the checker must report violations here, proving it
+// can actually catch broken execution models. (LU is unusable for this:
+// its tiles are never rewritten after being read, so dropping the WAR
+// ordering is invisible on LU flows.)
+func unsoundControl(workers int, seed int64) ([]spec.Table1Row, error) {
+	g := graphs.RandomDeps(10, 3, 1, 1, seed)
+	m, err := spec.NewModel(g, workers, sched.Cyclic(workers))
+	if err != nil {
+		return nil, err
+	}
+	row := spec.Table1Row{Name: "unsound-" + g.Name, Tasks: len(g.Tasks)}
+	t0 := time.Now()
+	row.STF = m.CheckSTF()
+	row.STFTime = time.Since(t0)
+	t0 = time.Now()
+	row.RIO = m.CheckRIO(spec.RIOOptions{SkipReadBlockers: true})
+	row.RIOTime = time.Since(t0)
+	return []spec.Table1Row{row}, nil
 }
 
 // checkWorkload extends Table 1's procedure to the other workloads of the

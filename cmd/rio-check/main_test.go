@@ -6,21 +6,32 @@ import (
 	"rio/internal/analyze"
 )
 
+// check runs the CLI and fails the test on usage/internal errors,
+// returning whether the checker reported violations.
+func check(t *testing.T, args ...string) bool {
+	t.Helper()
+	violations, err := run(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return violations
+}
+
 func TestRunExhaustive(t *testing.T) {
-	if err := run([]string{"-sizes", "2x2,3x2", "-workers", "2"}); err != nil {
-		t.Error(err)
+	if check(t, "-sizes", "2x2,3x2", "-workers", "2") {
+		t.Error("violations reported on a sound model")
 	}
 }
 
 func TestRunSampled(t *testing.T) {
-	if err := run([]string{"-sizes", "4x4", "-workers", "3", "-sample", "50"}); err != nil {
-		t.Error(err)
+	if check(t, "-sizes", "4x4", "-workers", "3", "-sample", "50") {
+		t.Error("violations reported on a sound model")
 	}
 }
 
 func TestRunRejectsBadSizes(t *testing.T) {
 	for _, s := range []string{"2", "2x", "ax2", "2xb"} {
-		if err := run([]string{"-sizes", s}); err == nil {
+		if _, err := run([]string{"-sizes", s}); err == nil {
 			t.Errorf("size %q accepted", s)
 		}
 	}
@@ -40,20 +51,20 @@ func TestRunOtherWorkloads(t *testing.T) {
 	for wl, size := range map[string]string{
 		"cholesky": "3", "gemm": "2", "wavefront": "3", "random": "6",
 	} {
-		if err := run([]string{"-workload", wl, "-size", size}); err != nil {
-			t.Errorf("%s: %v", wl, err)
+		if check(t, "-workload", wl, "-size", size) {
+			t.Errorf("%s: violations reported on a sound model", wl)
 		}
 	}
-	if err := run([]string{"-workload", "cholesky", "-size", "4", "-sample", "30"}); err != nil {
-		t.Errorf("sampled cholesky: %v", err)
+	if check(t, "-workload", "cholesky", "-size", "4", "-sample", "30") {
+		t.Error("sampled cholesky: violations reported on a sound model")
 	}
-	if err := run([]string{"-workload", "nope"}); err == nil {
+	if _, err := run([]string{"-workload", "nope"}); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
 
 func TestRunRejectsTooManyWorkers(t *testing.T) {
-	if err := run([]string{"-sizes", "2x2", "-workers", "9"}); err == nil {
+	if _, err := run([]string{"-sizes", "2x2", "-workers", "9"}); err == nil {
 		t.Error("worker count beyond MaxWorkers accepted")
 	}
 }
@@ -61,20 +72,56 @@ func TestRunRejectsTooManyWorkers(t *testing.T) {
 func TestRunRealExecution(t *testing.T) {
 	// -exec runs the instance on the real in-order engine under a deadline;
 	// the healthy runs here must complete well inside it.
-	if err := run([]string{"-sizes", "2x2", "-workers", "2", "-exec", "2", "-timeout", "30s"}); err != nil {
-		t.Error(err)
+	if check(t, "-sizes", "2x2", "-workers", "2", "-exec", "2", "-timeout", "30s") {
+		t.Error("violations reported on a healthy execution")
 	}
-	if err := run([]string{"-workload", "gemm", "-size", "2", "-exec", "1", "-timeout", "30s"}); err != nil {
-		t.Error(err)
+	if check(t, "-workload", "gemm", "-size", "2", "-exec", "1", "-timeout", "30s") {
+		t.Error("violations reported on a healthy execution")
 	}
 	// -exec without -timeout is legal (unbounded, watchdog off).
-	if err := run([]string{"-workload", "wavefront", "-size", "3", "-exec", "1"}); err != nil {
-		t.Error(err)
+	if check(t, "-workload", "wavefront", "-size", "3", "-exec", "1") {
+		t.Error("violations reported on a healthy execution")
 	}
 }
 
 func TestRunRejectsNegativeTimeout(t *testing.T) {
-	if err := run([]string{"-sizes", "2x2", "-timeout", "-1s"}); err == nil {
+	if _, err := run([]string{"-sizes", "2x2", "-timeout", "-1s"}); err == nil {
 		t.Error("negative -timeout accepted")
+	}
+}
+
+// TestExitCodeContract pins the CLI exit-status contract: run's two
+// results map to exit codes in main — err != nil → 2 (usage/internal
+// error), violations → 1 (genuine finding), neither → 0. Findings must
+// never surface through err, or scripts would see exit 2 for an ordinary
+// "the checker found a bug" outcome.
+func TestExitCodeContract(t *testing.T) {
+	cases := []struct {
+		name       string
+		args       []string
+		violations bool // want exit 1
+		err        bool // want exit 2
+	}{
+		{"clean model", []string{"-sizes", "2x2", "-workers", "2"}, false, false},
+		{"unsound model is a finding", []string{"-workers", "2", "-unsound"}, true, false},
+		{"bad flag", []string{"-no-such-flag"}, false, true},
+		{"bad size", []string{"-sizes", "zz"}, false, true},
+		{"negative timeout", []string{"-sizes", "2x2", "-timeout", "-1s"}, false, true},
+		{"unknown workload", []string{"-workload", "nope"}, false, true},
+		{"unsound with exec", []string{"-unsound", "-exec", "1"}, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			violations, err := run(tc.args)
+			if violations != tc.violations {
+				t.Errorf("violations = %v, want %v", violations, tc.violations)
+			}
+			if (err != nil) != tc.err {
+				t.Errorf("err = %v, want err=%v", err, tc.err)
+			}
+			if violations && err != nil {
+				t.Error("finding reported through both channels")
+			}
+		})
 	}
 }

@@ -131,3 +131,40 @@ func TestVetUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestVetExitCodeContract pins the exit-status contract (audited and
+// verified correct, no fix needed): run's two results map to exit codes
+// in main — err != nil → 2 (usage/internal error), reject → 1 (findings
+// at or above -fail-on), neither → 0. A finding must never surface
+// through err: scripts rely on exit 2 meaning "the tool could not run",
+// not "the tool found something".
+func TestVetExitCodeContract(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		reject bool // want exit 1
+		err    bool // want exit 2
+	}{
+		{"clean flow", []string{"-workload", "lu", "-size", "3", "-workers", "2"}, false, false},
+		{"nondeterminism is a finding", []string{"-workload", "nondet"}, true, false},
+		{"serialized mapping is a finding", []string{"-workload", "wavefront", "-size", "4", "-workers", "4", "-mapping", "single:0"}, true, false},
+		{"info findings below -fail-on pass", []string{"-workload", "lu", "-size", "3", "-workers", "2", "-fail-on", "error"}, false, false},
+		{"bad flag", []string{"-no-such-flag"}, false, true},
+		{"bad mapping spec", []string{"-mapping", "nope"}, false, true},
+		{"missing graph file", []string{"-graph", "/does/not/exist.json"}, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reject, err := run(tc.args, &bytes.Buffer{})
+			if reject != tc.reject {
+				t.Errorf("reject = %v, want %v", reject, tc.reject)
+			}
+			if (err != nil) != tc.err {
+				t.Errorf("err = %v, want err=%v", err, tc.err)
+			}
+			if reject && err != nil {
+				t.Error("finding reported through both channels")
+			}
+		})
+	}
+}

@@ -1,0 +1,211 @@
+package rio
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rio/internal/core"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// CompiledProgram is a recorded task flow lowered into flat per-worker
+// instruction streams for one (mapping, workers) pair — the fast replay
+// path. Closure replay pays the paper's n·t_r replay term (eq. 2) on
+// every run of every worker: the mapping is re-evaluated, the access
+// lists re-walked and the divergence guard re-folded each time. A
+// compiled program pays that cost once, at Compile time; running it
+// interprets pre-resolved micro-ops with no closure dispatch, no
+// interface values and no guard (all streams derive from one graph, so
+// replay divergence is impossible by construction).
+type CompiledProgram = stf.CompiledProgram
+
+// Compile lowers a recorded graph for the given worker count and mapping
+// (nil means the cyclic default). With prune set, §3.5 task pruning is
+// applied at compile time: tasks irrelevant to a worker are omitted from
+// its stream entirely.
+//
+// The mapping must give every task a static owner in [0, workers);
+// partial mappings (SharedWorker) resolve ownership at run time and
+// require closure replay. The returned program is immutable, reusable
+// across runs and engines of the same worker count, and assumes g is not
+// mutated while it is in use.
+func Compile(g *Graph, workers int, m Mapping, prune bool) (*CompiledProgram, error) {
+	if m == nil {
+		if workers < 1 {
+			return nil, fmt.Errorf("rio: Compile: workers must be >= 1, got %d", workers)
+		}
+		m = CyclicMapping(workers)
+	}
+	var rel [][]bool
+	if prune {
+		rel = sched.Relevant(g, m, workers)
+	}
+	return stf.Compile(g, m, workers, rel)
+}
+
+// Engine is an in-order (RIO) runtime with a compiled-program cache:
+// RunGraph compiles a recorded graph on first sight and replays the
+// cached streams on every later run, so iterative workloads (outer
+// loops re-running an identical flow) pay the n·t_r unrolling cost once
+// per engine instead of once per run. The cache is keyed by graph
+// identity (the *Graph pointer); SetMapping flushes it, since the
+// streams bake the task→worker assignment in.
+//
+// Engine also implements Runtime, executing closure programs through the
+// ordinary replay path — use that for flows that change between runs or
+// need partial (SharedWorker) mappings. Options.Timeout is honored for
+// all runs; Options.Preflight is ignored (recorded graphs are validated
+// structurally at compile time). Like the other runtimes, an Engine is
+// reusable but not concurrently.
+type Engine struct {
+	core    *core.Engine
+	opts    Options
+	mapping Mapping
+
+	mu           sync.Mutex
+	cache        map[*Graph]*CompiledProgram
+	hits, misses int64
+}
+
+// NewEngine returns a caching in-order engine. Options.Model must be
+// InOrder (the zero value): the compiled path is specific to
+// decentralized replay.
+func NewEngine(o Options) (*Engine, error) {
+	if o.Model != InOrder {
+		return nil, fmt.Errorf("rio: NewEngine: compiled replay requires the InOrder model, got %v", o.Model)
+	}
+	c, err := core.New(core.Options{
+		Workers:      o.Workers,
+		Mapping:      o.Mapping,
+		NoAccounting: o.NoAccounting,
+		SpinLimit:    o.SpinLimit,
+		StallTimeout: o.StallTimeout,
+		NoGuard:      o.NoGuard,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := o.Mapping
+	if m == nil {
+		m = CyclicMapping(o.Workers)
+	}
+	return &Engine{
+		core:    c,
+		opts:    o,
+		mapping: m,
+		cache:   make(map[*Graph]*CompiledProgram),
+	}, nil
+}
+
+// RunGraph executes g with kernel k through the compiled fast path,
+// compiling (and caching) the graph on first use.
+func (e *Engine) RunGraph(g *Graph, k Kernel) error {
+	return e.RunGraphContext(context.Background(), g, k)
+}
+
+// RunGraphContext is RunGraph with cancellation.
+func (e *Engine) RunGraphContext(ctx context.Context, g *Graph, k Kernel) error {
+	cp, err := e.compiled(g)
+	if err != nil {
+		return err
+	}
+	return e.RunCompiledContext(ctx, cp, k)
+}
+
+// compiled returns the cached program for g, compiling on a miss.
+func (e *Engine) compiled(g *Graph) (*CompiledProgram, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cp, ok := e.cache[g]; ok {
+		e.hits++
+		return cp, nil
+	}
+	var rel [][]bool
+	if e.opts.Prune {
+		rel = sched.Relevant(g, e.mapping, e.core.NumWorkers())
+	}
+	cp, err := stf.Compile(g, e.mapping, e.core.NumWorkers(), rel)
+	if err != nil {
+		return nil, err
+	}
+	e.misses++
+	e.cache[g] = cp
+	return cp, nil
+}
+
+// RunCompiled executes an explicitly pre-compiled program (see Compile)
+// with kernel k, bypassing the cache. The program's baked-in mapping
+// governs, not the engine's.
+func (e *Engine) RunCompiled(cp *CompiledProgram, k Kernel) error {
+	return e.RunCompiledContext(context.Background(), cp, k)
+}
+
+// RunCompiledContext is RunCompiled with cancellation.
+func (e *Engine) RunCompiledContext(ctx context.Context, cp *CompiledProgram, k Kernel) error {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	return e.core.RunCompiledContext(ctx, cp, k)
+}
+
+// Run implements Runtime: closure programs take the ordinary (uncached)
+// replay path.
+func (e *Engine) Run(numData int, prog Program) error {
+	return e.RunContext(context.Background(), numData, prog)
+}
+
+// RunContext implements Runtime.
+func (e *Engine) RunContext(ctx context.Context, numData int, prog Program) error {
+	ctx, cancel := e.withDeadline(ctx)
+	defer cancel()
+	return e.core.RunContext(ctx, numData, prog)
+}
+
+func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.opts.Timeout > 0 {
+		return context.WithTimeout(ctx, e.opts.Timeout)
+	}
+	return ctx, func() {}
+}
+
+// SetMapping replaces the engine's task mapping (nil restores the cyclic
+// default) and flushes the compiled-program cache: cached streams bake
+// the old task→worker assignment in and would execute tasks on the wrong
+// workers. Programs compiled explicitly via Compile are unaffected.
+func (e *Engine) SetMapping(m Mapping) {
+	if m == nil {
+		m = CyclicMapping(e.core.NumWorkers())
+	}
+	e.mu.Lock()
+	e.mapping = m
+	e.cache = make(map[*Graph]*CompiledProgram)
+	e.mu.Unlock()
+	e.core.SetMapping(m)
+}
+
+// Invalidate drops g's cached compiled program (use after mutating a
+// graph in place; re-adding tasks to a cached graph would otherwise keep
+// replaying the stale streams).
+func (e *Engine) Invalidate(g *Graph) {
+	e.mu.Lock()
+	delete(e.cache, g)
+	e.mu.Unlock()
+}
+
+// CacheStats reports the compiled-program cache's hit/miss counters and
+// current size.
+func (e *Engine) CacheStats() (hits, misses int64, entries int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses, len(e.cache)
+}
+
+// Stats implements Runtime.
+func (e *Engine) Stats() *Stats { return e.core.Stats() }
+
+// Name implements Runtime.
+func (e *Engine) Name() string { return "rio-compiled" }
+
+// NumWorkers implements Runtime.
+func (e *Engine) NumWorkers() int { return e.core.NumWorkers() }

@@ -78,11 +78,18 @@ func k(x EngineKind) int { return int(x) }
 // Measure runs prog on e warmup+reps times and returns the median wall time
 // together with the stats of the median run.
 func Measure(e Engine, numData int, prog stf.Program, warmup, reps int) (time.Duration, *trace.Stats, error) {
+	return MeasureRun(func() error { return e.Run(numData, prog) }, e.Stats, warmup, reps)
+}
+
+// MeasureRun is Measure over an arbitrary run thunk (closure replay,
+// compiled replay, …): warmup+reps runs, median wall time, stats of the
+// median run as reported by stats() after each run.
+func MeasureRun(run func() error, stats func() *trace.Stats, warmup, reps int) (time.Duration, *trace.Stats, error) {
 	if reps < 1 {
 		reps = 1
 	}
 	for i := 0; i < warmup; i++ {
-		if err := e.Run(numData, prog); err != nil {
+		if err := run(); err != nil {
 			return 0, nil, err
 		}
 	}
@@ -92,10 +99,10 @@ func Measure(e Engine, numData int, prog stf.Program, warmup, reps int) (time.Du
 	}
 	samples := make([]sample, 0, reps)
 	for i := 0; i < reps; i++ {
-		if err := e.Run(numData, prog); err != nil {
+		if err := run(); err != nil {
 			return 0, nil, err
 		}
-		st := *e.Stats()
+		st := *stats()
 		samples = append(samples, sample{st.Wall, st})
 	}
 	sort.Slice(samples, func(a, b int) bool { return samples[a].wall < samples[b].wall })

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+
+	"rio/internal/core"
+	"rio/internal/graphs"
+	"rio/internal/kernels"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// Replay ablation: how much of RIO's per-run cost is the replay term
+// n·t_r of eq. (2), and how much of it compilation removes. The workload
+// is the Fig 7 weak-scaling one (n = TasksPerWorker·p independent counter
+// tasks, cyclic mapping) because with no dependencies and negligible
+// bodies the run is almost pure replay overhead. Variants:
+//
+//   - closure          — stf.Replay through the Submitter interface, the
+//     default path (divergence guard on);
+//   - closure-noguard  — same with the guard off, isolating the guard's
+//     share of t_r;
+//   - compiled         — pre-lowered per-worker instruction streams
+//     (guard-free by construction);
+//   - compiled-pruned  — streams with §3.5 pruning applied at compile
+//     time; for independent tasks a worker's stream shrinks to just its
+//     own n/p executions.
+
+// ReplayConfig parameterizes the replay ablation.
+type ReplayConfig struct {
+	// Workers is the thread count p.
+	Workers int
+	// TasksPerWorker scales the flow: n = TasksPerWorker · Workers.
+	TasksPerWorker int
+	// TaskSize is the counter kernel's loop count (keep small: the point
+	// is replay overhead, not task work).
+	TaskSize uint64
+	// Warmup, Reps as elsewhere.
+	Warmup, Reps int
+}
+
+func (c ReplayConfig) check() error {
+	if c.Workers < 1 || c.TasksPerWorker < 1 {
+		return fmt.Errorf("bench: bad replay config %+v", c)
+	}
+	return nil
+}
+
+// ReplayAblation measures the four replay variants on the Fig 7 workload.
+func ReplayAblation(cfg ReplayConfig) ([]Row, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	p := cfg.Workers
+	g := graphs.Independent(cfg.TasksPerWorker * p)
+	m := sched.Cyclic(p)
+	cells := kernels.NewCells(p)
+	kern := graphs.CounterKernel(cells, cfg.TaskSize)
+
+	compiled, err := stf.Compile(g, m, p, nil)
+	if err != nil {
+		return nil, err
+	}
+	pruned, err := stf.Compile(g, m, p, sched.Relevant(g, m, p))
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		name    string
+		noGuard bool
+		cp      *stf.CompiledProgram
+	}
+	variants := []variant{
+		{"closure", false, nil},
+		{"closure-noguard", true, nil},
+		{"compiled", false, compiled},
+		{"compiled-pruned", false, pruned},
+	}
+	var rows []Row
+	for _, v := range variants {
+		e, err := core.New(core.Options{Workers: p, Mapping: m, NoGuard: v.noGuard})
+		if err != nil {
+			return nil, err
+		}
+		run := func() error { return e.Run(g.NumData, stf.Replay(g, kern)) }
+		if v.cp != nil {
+			cp := v.cp
+			run = func() error { return e.RunCompiled(cp, kern) }
+		}
+		wall, st, err := MeasureRun(run, e.Stats, cfg.Warmup, cfg.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("replay/%s: %w", v.name, err)
+		}
+		rows = append(rows, Row{
+			Experiment: "replay",
+			Workload:   g.Name,
+			Engine:     v.name,
+			Workers:    p,
+			TaskSize:   cfg.TaskSize,
+			Tasks:      st.Executed(),
+			Wall:       wall,
+			PerTask:    perTask(wall, p, st.Executed()),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rio/internal/stf"
+)
+
+// RunCompiled executes a compiled program (stf.Compile) with kernel k.
+// This is the fast replay path: instead of every worker re-unrolling the
+// task flow through the Submitter interface, each worker interprets its
+// pre-resolved instruction stream — the replay term n·t_r of the paper's
+// cost model (eq. 2) was paid once at compile time. The synchronization
+// protocol (Algorithms 1 and 2) and its shared state are exactly those of
+// the closure path; only the flow-unrolling layer above them changes.
+func (e *Engine) RunCompiled(cp *stf.CompiledProgram, k stf.Kernel) error {
+	return e.RunCompiledContext(context.Background(), cp, k)
+}
+
+// RunCompiledContext is RunCompiled with cancellation, with the semantics
+// of RunContext. The program must have been compiled for exactly this
+// engine's worker count; the engine's own mapping is NOT consulted — the
+// ownership baked into the streams at compile time governs.
+//
+// The replay-divergence guard never runs on this path: all workers'
+// streams derive from the same recorded graph, so replay divergence is
+// impossible by construction.
+func (e *Engine) RunCompiledContext(ctx context.Context, cp *stf.CompiledProgram, k stf.Kernel) error {
+	if cp == nil {
+		return errors.New("core: nil compiled program")
+	}
+	if k == nil {
+		return errors.New("core: nil kernel")
+	}
+	if cp.Workers != e.workers {
+		return fmt.Errorf("core: program compiled for %d workers run on an engine with %d", cp.Workers, e.workers)
+	}
+	return e.run(ctx, cp.NumData, false, func(s *submitter) {
+		s.runStream(cp, k)
+	})
+}
+
+// runStream is the compiled execution loop: a flat walk over this worker's
+// micro-op stream. Declares and terminates call the localState/sharedState
+// protocol primitives directly; gets reuse the same escalating waits as
+// closure replay (so the stall watchdog and abort latch behave
+// identically); OpExec polls the abort flag once per task, mirroring the
+// per-submission poll of the closure path.
+func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
+	stream := cp.Streams[s.worker]
+	for i := range stream {
+		in := &stream[i]
+		switch in.Op {
+		case stf.OpDeclareRead:
+			s.local[in.Data].declareRead()
+		case stf.OpDeclareWrite:
+			s.local[in.Data].declareWrite(int64(in.Task))
+		case stf.OpDeclareRed:
+			s.local[in.Data].declareRed()
+		case stf.OpGetRead:
+			s.getRead(stf.TaskID(in.Task), stf.Access{Data: in.Data, Mode: in.Mode})
+			if s.err != nil {
+				return // aborted while waiting
+			}
+		case stf.OpGetWrite:
+			s.getWrite(stf.TaskID(in.Task), stf.Access{Data: in.Data, Mode: in.Mode})
+			if s.err != nil {
+				return
+			}
+		case stf.OpGetRed:
+			s.getRed(stf.TaskID(in.Task), stf.Access{Data: in.Data, Mode: in.Mode})
+			if s.err != nil {
+				return
+			}
+		case stf.OpExec:
+			if s.abort.raised() {
+				s.fail(errAborted)
+				return
+			}
+			s.execCompiled(&cp.Tasks[in.Task], k)
+		case stf.OpTermRead:
+			s.local[in.Data].terminateRead(&s.shared[in.Data])
+		case stf.OpTermWrite:
+			s.local[in.Data].terminateWrite(&s.shared[in.Data], int64(in.Task))
+		case stf.OpTermRed:
+			s.local[in.Data].terminateRed(&s.shared[in.Data])
+		default:
+			err := fmt.Errorf("core: corrupt compiled stream: op %d at %d", in.Op, i)
+			s.fail(err)
+			s.abort.raise(err, false)
+			return
+		}
+	}
+	// Declared counts are known at compile time; charge them only on a
+	// completed stream (an aborted run reports what actually happened:
+	// Executed is counted live, Declared is unavailable).
+	s.ws.Declared = cp.Stats[s.worker].Declared
+}
+
+// execCompiled runs one task body of a compiled stream between its
+// reduction locks. Unlike the closure path's execLocked, completion is
+// NOT published here — the stream carries explicit terminate micro-ops.
+// The reduction mutexes are therefore released before the terminates
+// publish the counters, which is safe: the mutex only serializes bodies
+// of commuting reductions, while waiters are gated by the counters, which
+// advance only after the body has completed either way.
+func (s *submitter) execCompiled(t *stf.Task, k stf.Kernel) {
+	if s.lockReductions(t.Accesses) {
+		defer s.unlockReductions(t.Accesses)
+	}
+	if h := s.health; h != nil {
+		h.setExec(int64(t.ID))
+		defer h.endExec()
+	}
+	if s.eng.noAcct {
+		k(t, s.worker)
+	} else {
+		t0 := time.Now()
+		k(t, s.worker)
+		s.ws.Task += time.Since(t0)
+	}
+	s.ws.Executed++
+}

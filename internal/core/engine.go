@@ -95,6 +95,17 @@ func (e *Engine) Name() string { return "rio" }
 // NumWorkers returns p.
 func (e *Engine) NumWorkers() int { return e.workers }
 
+// SetMapping replaces the engine's task mapping for subsequent runs. A nil
+// mapping restores the default cyclic one. Must not be called while a run
+// is in flight.
+func (e *Engine) SetMapping(m stf.Mapping) {
+	if m == nil {
+		p := e.workers
+		m = func(id stf.TaskID) stf.WorkerID { return stf.WorkerID(id % stf.TaskID(p)) }
+	}
+	e.mapping = m
+}
+
 // Run executes prog over numData data objects. Every worker replays prog
 // (decentralized task management); the call returns once all workers have
 // finished the whole task flow. Run returns an error if any worker detected
@@ -116,6 +127,16 @@ func (e *Engine) Run(numData int, prog stf.Program) error {
 // case the run is abandoned with a StallError after the threshold (the
 // wedged worker goroutine is leaked and the engine must not be reused).
 func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) error {
+	return e.run(ctx, numData, e.guard, func(s *submitter) { prog(s) })
+}
+
+// run is the scaffolding shared by the closure-replay and compiled-replay
+// paths: allocate the synchronization state, spawn one goroutine per
+// worker executing body against its submitter, supervise the run
+// (cancellation, stall watchdog) and assemble the error verdict. guard
+// enables the replay-divergence guard; the compiled path passes false
+// because all its streams derive from one graph and cannot diverge.
+func (e *Engine) run(ctx context.Context, numData int, guard bool, body func(*submitter)) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("core: run not started: %w", context.Cause(ctx))
 	}
@@ -146,7 +167,7 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 		if health != nil {
 			subs[w].health = &health[w]
 		}
-		if e.guard {
+		if guard {
 			subs[w].guard = &guardState{}
 		}
 		for d := range subs[w].local {
@@ -176,7 +197,7 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 				}
 				s.ws.Wall = time.Since(t0)
 			}()
-			prog(s)
+			body(s)
 		}(s)
 	}
 
@@ -429,37 +450,57 @@ func (s *submitter) fail(err error) {
 
 // acquire implements the get_read / get_write / get_red calls of
 // Algorithm 1: block until every dependency registered locally has
-// executed. Each composite condition is waited for piecewise; every piece
-// is stable once true, because any task that could perturb it was
-// registered after the current one and therefore transitively waits on it.
-// id is the acquiring task, threaded through for stall diagnosis.
+// executed. id is the acquiring task, threaded through for stall
+// diagnosis.
 func (s *submitter) acquire(id stf.TaskID, accesses []stf.Access) {
 	for _, a := range accesses {
-		sh := &s.shared[a.Data]
-		lo := &s.local[a.Data]
 		switch {
 		case a.Mode.Writes():
-			// get_write: previous writes, then reads, then reductions.
-			if !lo.writeReady(sh) {
-				s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-				s.wait(id, a, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
-				s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
-			}
+			s.getWrite(id, a)
 		case a.Mode.Commutes():
-			// get_red: previous writes, reads, and earlier-run
-			// reductions; members of the own run commute.
-			if !lo.redReady(sh) {
-				s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-				s.wait(id, a, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
-				s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() >= lo.nbRedsBeforeRun })
-			}
+			s.getRed(id, a)
 		default:
-			// get_read: previous writes and reductions.
-			if !lo.readReady(sh) {
-				s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-				s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
-			}
+			s.getRead(id, a)
 		}
+	}
+}
+
+// The get helpers below wait for each composite readiness condition
+// piecewise; every piece is stable once true, because any task that could
+// perturb it was registered after the current one and therefore
+// transitively waits on it. They are shared by the closure-replay acquire
+// above and the compiled execution loop.
+
+// getWrite waits for previous writes, then reads, then reductions.
+func (s *submitter) getWrite(id stf.TaskID, a stf.Access) {
+	sh := &s.shared[a.Data]
+	lo := &s.local[a.Data]
+	if !lo.writeReady(sh) {
+		s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+		s.wait(id, a, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
+		s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
+	}
+}
+
+// getRed waits for previous writes, reads, and earlier-run reductions;
+// members of the own run commute.
+func (s *submitter) getRed(id stf.TaskID, a stf.Access) {
+	sh := &s.shared[a.Data]
+	lo := &s.local[a.Data]
+	if !lo.redReady(sh) {
+		s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+		s.wait(id, a, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
+		s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() >= lo.nbRedsBeforeRun })
+	}
+}
+
+// getRead waits for previous writes and reductions.
+func (s *submitter) getRead(id stf.TaskID, a stf.Access) {
+	sh := &s.shared[a.Data]
+	lo := &s.local[a.Data]
+	if !lo.readReady(sh) {
+		s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+		s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
 	}
 }
 

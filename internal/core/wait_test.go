@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -45,8 +46,14 @@ func TestWaitEscalatesThroughSleepPhase(t *testing.T) {
 }
 
 // TestHeavyOversubscription runs 16 workers on one hardware thread; the
-// escalation must keep the engine live on dependency-heavy graphs.
+// escalation must keep the engine live on dependency-heavy graphs. The
+// test previously relied on the host happening to be single-core —
+// GOMAXPROCS is now pinned to 1 so the oversubscription is real
+// everywhere: without the Gosched/sleep escalation phases, 16 goroutines
+// busy-polling one thread would livelock (a pure busy-poll never yields,
+// so the producing goroutine could never be scheduled).
 func TestHeavyOversubscription(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	for _, g := range []*stf.Graph{
 		graphs.Chain(200),
 		graphs.LU(6),
@@ -56,6 +63,18 @@ func TestHeavyOversubscription(t *testing.T) {
 		if err := enginetest.Check(e, g); err != nil {
 			t.Errorf("%s p=16: %v", g.Name, err)
 		}
+	}
+}
+
+// TestOversubscribedTinySpinLimit is the same pressure with a one-iteration
+// spin budget: every wait escalates immediately, exercising the yield and
+// sleep phases under contention (and proving the budget is not required
+// for correctness, only latency).
+func TestOversubscribedTinySpinLimit(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	e := newEngine(t, core.Options{Workers: 8, Mapping: sched.Cyclic(8), SpinLimit: 1})
+	if err := enginetest.Check(e, graphs.Chain(300)); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -117,6 +117,37 @@ func RunProgram(e Engine, g *stf.Graph, progFor func(stf.Kernel) stf.Program) (*
 	return tr, nil
 }
 
+// CompiledEngine is the surface the oracle needs to check the compiled
+// replay path.
+type CompiledEngine interface {
+	RunCompiled(cp *stf.CompiledProgram, k stf.Kernel) error
+}
+
+// RunCompiled executes a program compiled from g with the oracle kernel
+// and returns the trace.
+func RunCompiled(e CompiledEngine, g *stf.Graph, cp *stf.CompiledProgram) (*Trace, error) {
+	tr := NewTrace(g)
+	var clock atomic.Int64
+	if err := e.RunCompiled(cp, Kernel(tr, &clock)); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// CheckCompiled runs cp (compiled from g) on e and verifies both oracles
+// against the sequential reference, like Check does for closure replay.
+func CheckCompiled(e CompiledEngine, g *stf.Graph, cp *stf.CompiledProgram) error {
+	want, err := Golden(g)
+	if err != nil {
+		return fmt.Errorf("golden run: %w", err)
+	}
+	got, err := RunCompiled(e, g, cp)
+	if err != nil {
+		return fmt.Errorf("compiled run: %w", err)
+	}
+	return Compare(g, want, got)
+}
+
 // Golden returns the sequential-execution trace of g (the STF reference
 // semantics).
 func Golden(g *stf.Graph) (*Trace, error) {

@@ -284,6 +284,67 @@ func TestFaultDivergenceCompletes(t *testing.T) {
 	})
 }
 
+// TestFaultDivergenceAccessOrder: one worker replays task 5's accesses in
+// reverse order — same access *set*, same IDs, same modes. The per-data
+// protocol bookkeeping is order-insensitive on data nothing else
+// synchronizes on, so the run completes; the divergence guard's stream
+// hash must still tell the replays apart ([R(x),W(y)] vs [W(y),R(x)]).
+func TestFaultDivergenceAccessOrder(t *testing.T) {
+	g := stf.NewGraph("div-order", 3)
+	for i := 0; i < 40; i++ {
+		if i == 5 {
+			// The reorder target: two extra reads of data nobody else
+			// touches, so both orders execute identically.
+			g.Add(0, i, 0, 0, stf.RW(0), stf.R(1), stf.R(2))
+			continue
+		}
+		g.Add(0, i, 0, 0, stf.RW(0))
+	}
+	rt := mustEngine(t, rio.Options{Model: rio.InOrder, Workers: 2})
+	err := rt.Run(g.NumData, faultinject.ReorderAccessesAt(g, noop, 1, 5))
+	if err == nil {
+		t.Fatal("order-divergent replay returned nil error")
+	}
+	var div *rio.DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("error is not a DivergenceError: %v", err)
+	}
+}
+
+// TestFaultDivergenceAccessMode: one worker replays task 5's extra access
+// with a different mode (R vs RW, and R vs Red) on data nothing else
+// synchronizes on — the run completes and only a mode-sensitive guard
+// hash can catch it.
+func TestFaultDivergenceAccessMode(t *testing.T) {
+	g := stf.NewGraph("div-mode", 2)
+	for i := 0; i < 40; i++ {
+		if i == 5 {
+			g.Add(0, i, 0, 0, stf.RW(0), stf.R(1))
+			continue
+		}
+		g.Add(0, i, 0, 0, stf.RW(0))
+	}
+	for _, tc := range []struct {
+		name string
+		mode stf.AccessMode
+	}{
+		{"R-vs-RW", stf.RW(1).Mode},
+		{"R-vs-Red", stf.Red(1).Mode},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := mustEngine(t, rio.Options{Model: rio.InOrder, Workers: 2})
+			err := rt.Run(g.NumData, faultinject.ChangeModeAt(g, noop, 1, 5, 1, tc.mode))
+			if err == nil {
+				t.Fatal("mode-divergent replay returned nil error")
+			}
+			var div *rio.DivergenceError
+			if !errors.As(err, &div) {
+				t.Fatalf("error is not a DivergenceError: %v", err)
+			}
+		})
+	}
+}
+
 // TestFaultGuardAcceptsCleanRuns: the guard must stay silent on correct
 // programs (this is the false-positive control for the whole guard).
 func TestFaultGuardAcceptsCleanRuns(t *testing.T) {

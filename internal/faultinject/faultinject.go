@@ -104,6 +104,56 @@ func ExtraAccessAt(g *stf.Graph, k stf.Kernel, w stf.WorkerID, id stf.TaskID, a 
 	}
 }
 
+// ReorderAccessesAt returns a Program replaying g with k, except that the
+// worker with ID w sees task id's access list reversed — the same access
+// *set* in a different order. The protocol's per-data bookkeeping is
+// order-insensitive, so on otherwise-untouched data the run completes;
+// only an order-sensitive divergence guard can tell the replays apart.
+func ReorderAccessesAt(g *stf.Graph, k stf.Kernel, w stf.WorkerID, id stf.TaskID) stf.Program {
+	return func(s stf.Submitter) {
+		diverge := s.Worker() == w
+		for i := range g.Tasks {
+			t := &g.Tasks[i]
+			if diverge && t.ID == id {
+				alt := *t
+				alt.Accesses = make([]stf.Access, len(t.Accesses))
+				for j, a := range t.Accesses {
+					alt.Accesses[len(t.Accesses)-1-j] = a
+				}
+				s.SubmitTask(&alt, k)
+				continue
+			}
+			s.SubmitTask(t, k)
+		}
+	}
+}
+
+// ChangeModeAt returns a Program replaying g with k, except that the worker
+// with ID w sees task id's access to data d with mode m instead of the
+// recorded one — same task, same data, different access mode. On data
+// nothing else synchronizes on the run completes and only a mode-sensitive
+// divergence guard can catch it.
+func ChangeModeAt(g *stf.Graph, k stf.Kernel, w stf.WorkerID, id stf.TaskID, d stf.DataID, m stf.AccessMode) stf.Program {
+	return func(s stf.Submitter) {
+		diverge := s.Worker() == w
+		for i := range g.Tasks {
+			t := &g.Tasks[i]
+			if diverge && t.ID == id {
+				alt := *t
+				alt.Accesses = append([]stf.Access(nil), t.Accesses...)
+				for j := range alt.Accesses {
+					if alt.Accesses[j].Data == d {
+						alt.Accesses[j].Mode = m
+					}
+				}
+				s.SubmitTask(&alt, k)
+				continue
+			}
+			s.SubmitTask(t, k)
+		}
+	}
+}
+
 // SwapAccessesAt returns a Program replaying g with k, except that the
 // worker with ID w sees tasks a and b with each other's access lists — a
 // divergent replay that typically deadlocks (worker w's private dependency

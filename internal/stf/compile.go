@@ -1,0 +1,293 @@
+package stf
+
+import "fmt"
+
+// Compiled replay: a recorded Graph, a static mapping and a worker count
+// are statically known before a run, yet closure replay re-derives all
+// three on every run of every worker — each worker calls the mapping once
+// per task, re-walks the access list through the Submitter interface and
+// folds the divergence guard, paying the full n·t_r replay term of the
+// paper's cost model (eq. 2) again and again. Compilation hoists that work
+// out of the run loop: the flow is lowered ONCE into flat per-worker
+// instruction streams of pre-resolved micro-ops, and the engine's compiled
+// execution loop just interprets them — no closure dispatch, no interface
+// values, no per-run mapping calls, no guard folding (all workers'
+// streams derive from the same graph, so replay divergence is impossible
+// by construction). Task pruning (§3.5) is applied at compile time by
+// simply omitting irrelevant tasks from a worker's stream.
+//
+// The synchronization protocol is untouched: the micro-ops invoke exactly
+// the declare/get/terminate operations of Algorithms 1 and 2, in the same
+// order closure replay would.
+
+// OpCode identifies one compiled micro-op. The access mode is folded into
+// the opcode so the execution loop dispatches on a single byte; the
+// original declared mode is still carried in Instr.Mode for diagnostics
+// (the stall watchdog reports what a worker is blocked on).
+type OpCode uint8
+
+const (
+	// OpDeclareRead … OpDeclareRed are the declare_* calls of Algorithm 1:
+	// private-memory bookkeeping for a task owned by another worker.
+	OpDeclareRead OpCode = iota
+	OpDeclareWrite
+	OpDeclareRed
+	// OpGetRead … OpGetRed are the get_* dependency waits.
+	OpGetRead
+	OpGetWrite
+	OpGetRed
+	// OpExec runs the task body (kernel dispatch on Tasks[Instr.Task]).
+	OpExec
+	// OpTermRead … OpTermRed are the terminate_* completion publications.
+	OpTermRead
+	OpTermWrite
+	OpTermRed
+)
+
+// String names the opcode for dumps and tests.
+func (op OpCode) String() string {
+	switch op {
+	case OpDeclareRead:
+		return "declare_read"
+	case OpDeclareWrite:
+		return "declare_write"
+	case OpDeclareRed:
+		return "declare_red"
+	case OpGetRead:
+		return "get_read"
+	case OpGetWrite:
+		return "get_write"
+	case OpGetRed:
+		return "get_red"
+	case OpExec:
+		return "exec"
+	case OpTermRead:
+		return "terminate_read"
+	case OpTermWrite:
+		return "terminate_write"
+	case OpTermRed:
+		return "terminate_red"
+	}
+	return fmt.Sprintf("OpCode(%d)", uint8(op))
+}
+
+// Instr is one pre-resolved micro-op of a compiled stream: which protocol
+// operation to perform, on which data object, on behalf of which task.
+// 12 bytes; streams are flat []Instr arrays walked linearly, so the
+// compiled execution loop is cache-friendly and allocation-free.
+type Instr struct {
+	// Op selects the protocol operation (mode pre-dispatched).
+	Op OpCode
+	// Mode is the originally declared access mode (diagnostics only; the
+	// execution loop dispatches on Op alone).
+	Mode AccessMode
+	// Data is the accessed data object (unused by OpExec).
+	Data DataID
+	// Task is the index into CompiledProgram.Tasks (equal to the TaskID,
+	// since recorded graphs have sequential IDs).
+	Task int32
+}
+
+// StreamStats counts, for one worker's stream, the tasks it executes and
+// the tasks it declares — known at compile time, so the engine charges
+// them to the run's statistics without per-op counters.
+type StreamStats struct {
+	// Executed is the number of OpExec micro-ops in the stream.
+	Executed int64
+	// Declared is the number of distinct foreign tasks the stream declares
+	// accesses for (tasks pruned from the stream count for neither).
+	Declared int64
+}
+
+// CompiledProgram is a recorded Graph lowered for one (mapping, workers)
+// pair: one flat instruction stream per worker. It is immutable after
+// Compile and safe to run concurrently on different engines (each run owns
+// its synchronization state; the program is read-only).
+//
+// Tasks aliases the source graph's task slice — the graph must not be
+// mutated while compiled programs over it are in use.
+type CompiledProgram struct {
+	// Name labels the workload (copied from the graph).
+	Name string
+	// NumData is the number of data objects the streams reference.
+	NumData int
+	// Workers is the worker count the program was compiled for; a run
+	// must use exactly this many workers.
+	Workers int
+	// Tasks is the task table OpExec and OpDeclareWrite index into.
+	Tasks []Task
+	// Streams holds one micro-op stream per worker.
+	Streams [][]Instr
+	// Stats gives each stream's compile-time execute/declare counts.
+	Stats []StreamStats
+	// Pruned records whether §3.5 pruning was applied.
+	Pruned bool
+}
+
+// Ops returns the total micro-op count across all streams — the compiled
+// measure of per-run replay work (the n·t_r term, now paid at compile
+// time).
+func (cp *CompiledProgram) Ops() int {
+	n := 0
+	for _, s := range cp.Streams {
+		n += len(s)
+	}
+	return n
+}
+
+// Compile lowers g into per-worker instruction streams for the given
+// mapping and worker count. relevant, when non-nil, is the §3.5 pruning
+// analysis (one bitmap per worker over g's tasks, as computed by
+// sched.Relevant): tasks irrelevant to a worker are omitted from its
+// stream entirely. A nil relevant compiles the full flow for every
+// worker.
+//
+// The mapping is evaluated exactly once per task, at compile time. It
+// must be total over g and must not return SharedWorker: partial mappings
+// resolve ownership at run time by first-to-reach claims, which a
+// pre-resolved stream cannot express — use closure replay for those.
+func Compile(g *Graph, m Mapping, workers int, relevant [][]bool) (*CompiledProgram, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("stf: compile: workers must be >= 1, got %d", workers)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("stf: compile: nil mapping")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("stf: compile: %w", err)
+	}
+	if relevant != nil {
+		if len(relevant) != workers {
+			return nil, fmt.Errorf("stf: compile: pruning bitmaps for %d workers, compiling for %d", len(relevant), workers)
+		}
+		for w, r := range relevant {
+			if len(r) != len(g.Tasks) {
+				return nil, fmt.Errorf("stf: compile: worker %d pruning bitmap covers %d tasks, graph has %d", w, len(r), len(g.Tasks))
+			}
+		}
+	}
+	if len(g.Tasks) > 1<<31-1 {
+		return nil, fmt.Errorf("stf: compile: graph has %d tasks, compiled task indices are 32-bit", len(g.Tasks))
+	}
+
+	// Resolve ownership once per task (not once per task per worker).
+	owners := make([]WorkerID, len(g.Tasks))
+	for i := range g.Tasks {
+		o := m(g.Tasks[i].ID)
+		if o == SharedWorker {
+			return nil, fmt.Errorf("stf: compile: task %d has no static owner (SharedWorker); partial mappings require closure replay", i)
+		}
+		if o < 0 || int(o) >= workers {
+			return nil, fmt.Errorf("stf: compile: mapping(%d) = %d out of range [0,%d)", i, o, workers)
+		}
+		owners[i] = o
+	}
+
+	cp := &CompiledProgram{
+		Name:    g.Name,
+		NumData: g.NumData,
+		Workers: workers,
+		Tasks:   g.Tasks,
+		Streams: make([][]Instr, workers),
+		Stats:   make([]StreamStats, workers),
+		Pruned:  relevant != nil,
+	}
+	for w := 0; w < workers; w++ {
+		stream := make([]Instr, 0, streamSize(g, owners, relevant, w))
+		for i := range g.Tasks {
+			if relevant != nil && !relevant[w][i] {
+				continue
+			}
+			t := &g.Tasks[i]
+			if owners[i] == WorkerID(w) {
+				stream = appendOwned(stream, t)
+				cp.Stats[w].Executed++
+			} else if len(t.Accesses) > 0 {
+				stream = appendForeign(stream, t)
+				cp.Stats[w].Declared++
+			} else {
+				// A foreign task with no accesses needs no bookkeeping at
+				// all — it synchronizes on nothing. Closure replay still
+				// pays a submission for it; the compiled stream is free.
+				cp.Stats[w].Declared++
+			}
+		}
+		cp.Streams[w] = stream
+	}
+	return cp, nil
+}
+
+// streamSize pre-computes worker w's exact stream length so compilation
+// allocates each stream once.
+func streamSize(g *Graph, owners []WorkerID, relevant [][]bool, w int) int {
+	n := 0
+	for i := range g.Tasks {
+		if relevant != nil && !relevant[w][i] {
+			continue
+		}
+		if owners[i] == WorkerID(w) {
+			n += 2*len(g.Tasks[i].Accesses) + 1
+		} else {
+			n += len(g.Tasks[i].Accesses)
+		}
+	}
+	return n
+}
+
+// appendOwned emits the micro-ops of a task the worker executes: the
+// get_* waits in declared access order, the body, then the terminate_*
+// publications — exactly the sequence of Algorithm 1's execute path.
+func appendOwned(stream []Instr, t *Task) []Instr {
+	id := int32(t.ID)
+	for _, a := range t.Accesses {
+		stream = append(stream, Instr{Op: getOp(a.Mode), Mode: a.Mode, Data: a.Data, Task: id})
+	}
+	stream = append(stream, Instr{Op: OpExec, Task: id})
+	for _, a := range t.Accesses {
+		stream = append(stream, Instr{Op: termOp(a.Mode), Mode: a.Mode, Data: a.Data, Task: id})
+	}
+	return stream
+}
+
+// appendForeign emits the declare_* bookkeeping of a task owned by another
+// worker.
+func appendForeign(stream []Instr, t *Task) []Instr {
+	id := int32(t.ID)
+	for _, a := range t.Accesses {
+		stream = append(stream, Instr{Op: declareOp(a.Mode), Mode: a.Mode, Data: a.Data, Task: id})
+	}
+	return stream
+}
+
+func declareOp(m AccessMode) OpCode {
+	switch {
+	case m.Writes():
+		return OpDeclareWrite
+	case m.Commutes():
+		return OpDeclareRed
+	default:
+		return OpDeclareRead
+	}
+}
+
+func getOp(m AccessMode) OpCode {
+	switch {
+	case m.Writes():
+		return OpGetWrite
+	case m.Commutes():
+		return OpGetRed
+	default:
+		return OpGetRead
+	}
+}
+
+func termOp(m AccessMode) OpCode {
+	switch {
+	case m.Writes():
+		return OpTermWrite
+	case m.Commutes():
+		return OpTermRed
+	default:
+		return OpTermRead
+	}
+}

@@ -231,6 +231,13 @@ type Options struct {
 	// programs; see DESIGN.md "Failure semantics"). Other engines have no
 	// replay to guard and ignore it.
 	NoGuard bool
+	// Prune applies §3.5 task pruning when a caching Engine (NewEngine)
+	// compiles a graph: each worker's instruction stream omits the tasks
+	// irrelevant to it (tasks it neither executes nor shares data with),
+	// shrinking the replay work below n micro-op groups per worker. Other
+	// runtimes ignore it; explicit Compile calls take pruning as an
+	// argument instead.
+	Prune bool
 	// Preflight, when non-zero, runs the selected static-analysis passes
 	// (internal/analyze) over the program in record mode before every
 	// Run: the program is recorded once — no task body executes — and
