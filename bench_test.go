@@ -9,6 +9,7 @@ package rio_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"rio"
@@ -427,5 +428,50 @@ func BenchmarkDeclareOverhead(b *testing.B) {
 	// Stats describe the last run; each run declares the same count.
 	if d := rt.Stats().Declared(); d > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(d), "ns/declare")
+	}
+}
+
+// BenchmarkHookOverhead measures the cost of the lifecycle-hook API on the
+// replay hot path. The nil-hooks variant is the baseline every existing
+// caller pays (one pointer test per hook site); "empty" installs a Hooks
+// struct with no callbacks set (per-callback nil tests); "counting" installs
+// minimal atomic counters in the per-task callbacks, the cheapest useful
+// instrumentation. Independent tasks with empty bodies and NoAccounting make
+// per-task engine overhead the entire signal, so ns/task deltas bound the
+// hook tax directly.
+func BenchmarkHookOverhead(b *testing.B) {
+	g := graphs.Independent(32768)
+	noop := func(*stf.Task, stf.WorkerID) {}
+	m := rio.CyclicMapping(benchWorkers)
+	var started, ended atomic.Int64
+	for _, v := range []struct {
+		name  string
+		hooks *rio.Hooks
+	}{
+		{"nil-hooks", nil},
+		{"empty-hooks", &rio.Hooks{}},
+		{"counting-hooks", &rio.Hooks{
+			OnTaskStart: func(rio.WorkerID, rio.TaskID) { started.Add(1) },
+			OnTaskEnd:   func(rio.WorkerID, rio.TaskID) { ended.Add(1) },
+		}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			rt, err := rio.New(rio.Options{
+				Model: rio.InOrder, Workers: benchWorkers, Mapping: m,
+				NoAccounting: true, Hooks: v.hooks,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := rio.Replay(g, noop)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Run(g.NumData, prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(g.Tasks)), "ns/task")
+		})
 	}
 }

@@ -57,6 +57,7 @@ func run(args []string) error {
 		csvOut     = fs.Bool("csv", false, "emit CSV instead of a text table")
 		simWorkers = fs.Int("sim-workers", 24, "simulated thread count for the sim subcommand (paper: 24)")
 		exp        = fs.Int("experiment", 0, "fig8 only: restrict to one experiment 1..4 (0 = all)")
+		chromeOut  = fs.String("chrome", "", "replay only: also write a Chrome trace of one traced run to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|replay|all}")
@@ -153,10 +154,20 @@ func run(args []string) error {
 			TaskSize: 200, Tasks: *tasks,
 		}))
 	case "replay":
-		err = addRows(bench.ReplayAblation(bench.ReplayConfig{
+		rcfg := bench.ReplayConfig{
 			Workers: *workers, TasksPerWorker: *perW, TaskSize: *f7size,
 			Warmup: *warmup, Reps: *reps,
-		}))
+		}
+		err = addRows(bench.ReplayAblation(rcfg))
+		if err == nil && *chromeOut != "" {
+			var f *os.File
+			if f, err = os.Create(*chromeOut); err == nil {
+				err = bench.WriteReplayChromeTrace(f, rcfg)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
 	case "costmodel":
 		rep, cerr := bench.CostModel(ccfg)
 		if cerr != nil {

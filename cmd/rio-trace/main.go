@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	engine := fs.String("engine", "rio", "rio | centralized | ws | prio | sequential")
 	taskSize := fs.Uint64("task-size", 5000, "synthetic task size (counter iterations)")
 	width := fs.Int("width", 100, "gantt width in columns")
+	chrome := fs.String("chrome", "", "write a Chrome trace (counter rows + dependency flow arrows) to this file; \"-\" for stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +96,34 @@ func run(args []string, out io.Writer) error {
 	} else {
 		fmt.Fprintln(out)
 	}
+
+	if *chrome != "" {
+		if err := writeChrome(*chrome, rec, g, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeChrome exports the recorded run as a graph-aware Chrome trace
+// (task slices, ready/executed counter rows, dependency flow arrows) to
+// path, or to out when path is "-".
+func writeChrome(path string, rec *trace.Recorder, g *stf.Graph, out io.Writer) error {
+	if path == "-" {
+		return rec.WriteChromeTraceGraph(out, g, nil)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeTraceGraph(f, g, nil); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nchrome trace written to %s (load in chrome://tracing or Perfetto)\n", path)
 	return nil
 }
 

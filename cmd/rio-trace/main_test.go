@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,5 +43,42 @@ func TestRunTraceRejectsUnknown(t *testing.T) {
 	}
 	if err := run([]string{"-engine", "nope"}, &buf); err == nil {
 		t.Error("unknown engine accepted")
+	}
+}
+
+func TestRunTraceChromeExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	args := []string{"-workload", "wavefront", "-size", "4", "-workers", "2",
+		"-task-size", "100", "-width", "20", "-chrome", path}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome export is not a JSON event array: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range events {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+	}
+	// The wavefront has 16 tasks and 24 dependency edges: slices, counter
+	// samples and flow arrows must all be present.
+	if phases["X"] != 16 {
+		t.Errorf("task slices = %d, want 16", phases["X"])
+	}
+	if phases["C"] == 0 {
+		t.Error("no counter events in chrome export")
+	}
+	if phases["s"] == 0 || phases["s"] != phases["f"] {
+		t.Errorf("flow events unpaired: %d starts, %d finishes", phases["s"], phases["f"])
+	}
+	if phases["M"] == 0 {
+		t.Error("no thread-name metadata in chrome export")
 	}
 }

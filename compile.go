@@ -56,9 +56,13 @@ func Compile(g *Graph, workers int, m Mapping, prune bool) (*CompiledProgram, er
 // Engine also implements Runtime, executing closure programs through the
 // ordinary replay path — use that for flows that change between runs or
 // need partial (SharedWorker) mappings. Options.Timeout is honored for
-// all runs; Options.Preflight is ignored (recorded graphs are validated
-// structurally at compile time). Like the other runtimes, an Engine is
-// reusable but not concurrently.
+// all runs. Options.Preflight is honored on both paths: closure programs
+// are analyzed in record mode before every run, recorded graphs once per
+// compilation (at the cache miss, so iterative replays pay it once).
+// Programs pre-compiled explicitly via Compile bypass preflight — their
+// graphs were validated structurally at compile time. Like the other
+// runtimes, an Engine is reusable but not concurrently (except Progress,
+// which any goroutine may call at any time).
 type Engine struct {
 	core    *core.Engine
 	opts    Options
@@ -76,14 +80,7 @@ func NewEngine(o Options) (*Engine, error) {
 	if o.Model != InOrder {
 		return nil, fmt.Errorf("rio: NewEngine: compiled replay requires the InOrder model, got %v", o.Model)
 	}
-	c, err := core.New(core.Options{
-		Workers:      o.Workers,
-		Mapping:      o.Mapping,
-		NoAccounting: o.NoAccounting,
-		SpinLimit:    o.SpinLimit,
-		StallTimeout: o.StallTimeout,
-		NoGuard:      o.NoGuard,
-	})
+	c, err := core.New(coreOptions(o))
 	if err != nil {
 		return nil, err
 	}
@@ -114,13 +111,20 @@ func (e *Engine) RunGraphContext(ctx context.Context, g *Graph, k Kernel) error 
 	return e.RunCompiledContext(ctx, cp, k)
 }
 
-// compiled returns the cached program for g, compiling on a miss.
+// compiled returns the cached program for g, compiling on a miss. The
+// miss path is also where Options.Preflight analyzes the graph: once per
+// (engine, graph) pair, not once per run.
 func (e *Engine) compiled(g *Graph) (*CompiledProgram, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if cp, ok := e.cache[g]; ok {
 		e.hits++
 		return cp, nil
+	}
+	if e.opts.Preflight != 0 {
+		if err := preflightGraph(g, e.opts, e.core.NumWorkers()); err != nil {
+			return nil, err
+		}
 	}
 	var rel [][]bool
 	if e.opts.Prune {
@@ -144,7 +148,7 @@ func (e *Engine) RunCompiled(cp *CompiledProgram, k Kernel) error {
 
 // RunCompiledContext is RunCompiled with cancellation.
 func (e *Engine) RunCompiledContext(ctx context.Context, cp *CompiledProgram, k Kernel) error {
-	ctx, cancel := e.withDeadline(ctx)
+	ctx, cancel := deadlineContext(ctx, e.opts.Timeout)
 	defer cancel()
 	return e.core.RunCompiledContext(ctx, cp, k)
 }
@@ -155,18 +159,20 @@ func (e *Engine) Run(numData int, prog Program) error {
 	return e.RunContext(context.Background(), numData, prog)
 }
 
-// RunContext implements Runtime.
+// RunContext implements Runtime. With Options.Preflight set the program
+// is analyzed in record mode (no task body executes) before every run.
 func (e *Engine) RunContext(ctx context.Context, numData int, prog Program) error {
-	ctx, cancel := e.withDeadline(ctx)
+	if e.opts.Preflight != 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("rio: run not started: %w", context.Cause(ctx))
+		}
+		if err := preflightProgram(numData, prog, e.opts, e.core.NumWorkers()); err != nil {
+			return err
+		}
+	}
+	ctx, cancel := deadlineContext(ctx, e.opts.Timeout)
 	defer cancel()
 	return e.core.RunContext(ctx, numData, prog)
-}
-
-func (e *Engine) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
-	if e.opts.Timeout > 0 {
-		return context.WithTimeout(ctx, e.opts.Timeout)
-	}
-	return ctx, func() {}
 }
 
 // SetMapping replaces the engine's task mapping (nil restores the cyclic
@@ -204,8 +210,15 @@ func (e *Engine) CacheStats() (hits, misses int64, entries int) {
 // Stats implements Runtime.
 func (e *Engine) Stats() *Stats { return e.core.Stats() }
 
-// Name implements Runtime.
-func (e *Engine) Name() string { return "rio-compiled" }
+// Progress implements Runtime: a snapshot of the always-on run counters,
+// callable from any goroutine while a run (closure or compiled) is in
+// flight.
+func (e *Engine) Progress() Progress { return e.core.Progress() }
+
+// Name implements Runtime. (Before the Engine became the default InOrder
+// runtime it reported "rio-compiled"; both its replay paths are the same
+// RIO protocol, so it now reports the model name.)
+func (e *Engine) Name() string { return "rio" }
 
 // NumWorkers implements Runtime.
 func (e *Engine) NumWorkers() int { return e.core.NumWorkers() }

@@ -2,12 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"io"
 
 	"rio/internal/core"
 	"rio/internal/graphs"
 	"rio/internal/kernels"
 	"rio/internal/sched"
 	"rio/internal/stf"
+	"rio/internal/trace"
 )
 
 // Replay ablation: how much of RIO's per-run cost is the replay term
@@ -44,6 +46,36 @@ func (c ReplayConfig) check() error {
 		return fmt.Errorf("bench: bad replay config %+v", c)
 	}
 	return nil
+}
+
+// WriteReplayChromeTrace runs the replay workload once — compiled path,
+// spans recorded — and writes a graph-aware Chrome trace (task slices,
+// ready/executed counter rows, dependency flow arrows) to w. The traced
+// run is separate from the measured ones: recording perturbs fine-grained
+// timings, so ReplayAblation's rows stay recorder-free.
+func WriteReplayChromeTrace(w io.Writer, cfg ReplayConfig) error {
+	if err := cfg.check(); err != nil {
+		return err
+	}
+	p := cfg.Workers
+	g := graphs.Independent(cfg.TasksPerWorker * p)
+	m := sched.Cyclic(p)
+	cells := kernels.NewCells(p)
+	rec := trace.NewRecorder(p)
+	kern := rec.Instrument(graphs.CounterKernel(cells, cfg.TaskSize))
+
+	cp, err := stf.Compile(g, m, p, nil)
+	if err != nil {
+		return err
+	}
+	e, err := core.New(core.Options{Workers: p, Mapping: m})
+	if err != nil {
+		return err
+	}
+	if err := e.RunCompiled(cp, kern); err != nil {
+		return err
+	}
+	return rec.WriteChromeTraceGraph(w, g, nil)
 }
 
 // ReplayAblation measures the four replay variants on the Fig 7 workload.

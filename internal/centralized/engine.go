@@ -32,16 +32,21 @@ type Options struct {
 	Hint stf.Mapping
 	// NoAccounting disables per-task and per-wait time-stamping.
 	NoAccounting bool
+	// Hooks optionally installs lifecycle callbacks (see stf.Hooks). Nil
+	// costs the hot path one pointer test per site.
+	Hooks *stf.Hooks
 }
 
 // Engine is a centralized out-of-order STF execution engine.
 type Engine struct {
-	workers int // total threads, master included
-	kind    SchedulerKind
-	window  int
-	hint    stf.Mapping
-	noAcct  bool
-	stats   trace.Stats
+	workers  int // total threads, master included
+	kind     SchedulerKind
+	window   int
+	hint     stf.Mapping
+	noAcct   bool
+	hooks    *stf.Hooks
+	stats    trace.Stats
+	progress atomic.Pointer[trace.ProgressTable]
 }
 
 // New returns a centralized engine for the given options.
@@ -52,7 +57,7 @@ func New(o Options) (*Engine, error) {
 	if o.Window < 0 {
 		return nil, fmt.Errorf("centralized: negative Window %d", o.Window)
 	}
-	return &Engine{workers: o.Workers, kind: o.Scheduler, window: o.Window, hint: o.Hint, noAcct: o.NoAccounting}, nil
+	return &Engine{workers: o.Workers, kind: o.Scheduler, window: o.Window, hint: o.Hint, noAcct: o.NoAccounting, hooks: o.Hooks}, nil
 }
 
 // Name identifies the execution model in reports.
@@ -82,6 +87,24 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 	if numData < 0 {
 		return errors.New("centralized: negative numData")
 	}
+	rp := trace.NewProgressTable(e.workers)
+	e.progress.Store(rp)
+	if h := e.hooks; h != nil && h.OnRunStart != nil {
+		h.OnRunStart(e.workers, numData)
+	}
+	err := e.execute(ctx, numData, rp, prog)
+	rp.Finish()
+	if h := e.hooks; h != nil && h.OnRunEnd != nil {
+		h.OnRunEnd(err)
+	}
+	return err
+}
+
+// execute is RunContext's engine room, split out so the entry point can
+// bracket it with the progress table's lifecycle and the OnRunStart /
+// OnRunEnd hooks. Progress cells mirror the Stats layout: cell 0 is the
+// master, executor w publishes to cell w+1.
+func (e *Engine) execute(ctx context.Context, numData int, rp *trace.ProgressTable, prog stf.Program) error {
 	nexec := e.workers - 1
 	var sched scheduler
 	switch e.kind {
@@ -100,6 +123,7 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 		redMu:  make([]sync.Mutex, numData),
 	}
 	m.progress = sync.NewCond(&m.mu)
+	m.prog = rp.Worker(0)
 	if ctx.Done() != nil {
 		stopWatch := make(chan struct{})
 		defer close(stopWatch)
@@ -125,17 +149,34 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 	for w := 0; w < nexec; w++ {
 		go func(w int) {
 			defer wg.Done()
+			cell := rp.Worker(w + 1)
+			hooks := e.hooks
 			t0 := time.Now()
 			for {
+				// A queue pop is this engine's dependency wait: there is no
+				// specific task or access to blame, so the hooks see NoTask
+				// and a zero Access.
+				if hooks != nil && hooks.OnWaitStart != nil {
+					hooks.OnWaitStart(stf.WorkerID(w), stf.NoTask, stf.Access{})
+				}
 				t, idle := sched.pop(w)
 				stats[w].idle += idle
+				if !e.noAcct && idle > 0 {
+					cell.AddWait(idle)
+				}
+				if hooks != nil && hooks.OnWaitEnd != nil {
+					hooks.OnWaitEnd(stf.WorkerID(w), stf.NoTask, stf.Access{})
+				}
 				// On cancellation a popped task is dropped unrun: the
 				// master's drain no longer waits for completion counts.
 				if t == nil || m.canceled.Load() {
 					break
 				}
+				cell.SetCurrent(t.id)
 				execTask(m, t, stf.WorkerID(w), e.noAcct, &stats[w].task)
+				cell.SetCurrent(stf.NoTask)
 				stats[w].executed++
+				cell.StoreExecuted(stats[w].executed)
 				// Completion is propagated even after a panic so the
 				// master's drain and the successors' counts terminate;
 				// the recorded error fails the run.
@@ -190,6 +231,19 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 // Stats returns the time decomposition of the last Run.
 func (e *Engine) Stats() *trace.Stats { return &e.stats }
 
+// Progress snapshots the current (or, between runs, the most recent) run's
+// always-on counters. Safe to call from any goroutine at any time,
+// including while a run is in flight; before the first run it returns a
+// zero Progress. The layout mirrors Stats: index 0 is the master (whose
+// Declared counts the tasks it has submitted), executors follow at w+1.
+func (e *Engine) Progress() trace.Progress {
+	t := e.progress.Load()
+	if t == nil {
+		return trace.Progress{}
+	}
+	return t.Snapshot()
+}
+
 // master is the stf.Submitter driven by the control thread.
 type master struct {
 	eng    *Engine
@@ -198,6 +252,7 @@ type master struct {
 	redMu  []sync.Mutex
 	next   stf.TaskID
 	err    error
+	prog   *trace.ProgressCell // master's progress cell (index 0)
 
 	// asyncErr records the first worker-side failure (task panic);
 	// guarded by mu.
@@ -278,7 +333,11 @@ func (m *master) dispatch(t *task, accesses []stf.Access) {
 		for m.inflight >= m.eng.window && m.cancelErr == nil {
 			t0 := time.Now()
 			m.progress.Wait()
-			m.idle += time.Since(t0)
+			waited := time.Since(t0)
+			m.idle += waited
+			if !m.eng.noAcct {
+				m.prog.AddWait(waited)
+			}
 		}
 	}
 	if m.cancelErr != nil {
@@ -290,6 +349,7 @@ func (m *master) dispatch(t *task, accesses []stf.Access) {
 	}
 	m.inflight++
 	m.submitted++
+	m.prog.StoreDeclared(m.submitted)
 	m.mu.Unlock()
 
 	for _, a := range accesses {
@@ -324,7 +384,9 @@ func (m *master) onComplete(t *task) {
 
 // execTask runs one task body under its reduction locks, converting a
 // panic into a recorded run error (the unlocks are deferred so a panicking
-// body cannot wedge the per-data mutexes).
+// body cannot wedge the per-data mutexes). The task hooks bracket the body
+// here so that a panicking body skips OnTaskEnd, matching the in-order
+// engine's contract.
 func execTask(m *master, t *task, w stf.WorkerID, noAcct bool, taskTime *time.Duration) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -335,13 +397,20 @@ func execTask(m *master, t *task, w stf.WorkerID, noAcct bool, taskTime *time.Du
 		m.redMu[d].Lock()
 		defer m.redMu[d].Unlock()
 	}
+	h := m.eng.hooks
+	if h != nil && h.OnTaskStart != nil {
+		h.OnTaskStart(w, t.id)
+	}
 	if noAcct {
 		t.run(w)
-		return
+	} else {
+		tt := time.Now()
+		t.run(w)
+		*taskTime += time.Since(tt)
 	}
-	tt := time.Now()
-	t.run(w)
-	*taskTime += time.Since(tt)
+	if h != nil && h.OnTaskEnd != nil {
+		h.OnTaskEnd(w, t.id)
+	}
 }
 
 // recordError stores the first asynchronous (worker-side) error.
@@ -373,6 +442,10 @@ func (m *master) drain() {
 	for m.completed < m.submitted && m.cancelErr == nil {
 		t0 := time.Now()
 		m.progress.Wait()
-		m.idle += time.Since(t0)
+		waited := time.Since(t0)
+		m.idle += waited
+		if !m.eng.noAcct {
+			m.prog.AddWait(waited)
+		}
 	}
 }

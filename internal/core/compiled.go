@@ -98,6 +98,7 @@ func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
 	// completed stream (an aborted run reports what actually happened:
 	// Executed is counted live, Declared is unavailable).
 	s.ws.Declared = cp.Stats[s.worker].Declared
+	s.prog.StoreDeclared(s.ws.Declared)
 }
 
 // execCompiled runs one task body of a compiled stream between its
@@ -115,6 +116,10 @@ func (s *submitter) execCompiled(t *stf.Task, k stf.Kernel) {
 		h.setExec(int64(t.ID))
 		defer h.endExec()
 	}
+	s.prog.SetCurrent(t.ID)
+	if h := s.hooks; h != nil && h.OnTaskStart != nil {
+		h.OnTaskStart(s.worker, t.ID)
+	}
 	if s.eng.noAcct {
 		k(t, s.worker)
 	} else {
@@ -122,5 +127,10 @@ func (s *submitter) execCompiled(t *stf.Task, k stf.Kernel) {
 		k(t, s.worker)
 		s.ws.Task += time.Since(t0)
 	}
+	if h := s.hooks; h != nil && h.OnTaskEnd != nil {
+		h.OnTaskEnd(s.worker, t.ID)
+	}
+	s.prog.SetCurrent(stf.NoTask)
 	s.ws.Executed++
+	s.prog.StoreExecuted(s.ws.Executed)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rio/internal/stf"
@@ -42,6 +43,9 @@ type Options struct {
 	// instead of silently corrupting data. Pruned replays (§3.5) are
 	// exempt automatically. Set NoGuard for overhead micro-measurements.
 	NoGuard bool
+	// Hooks optionally installs lifecycle callbacks (see stf.Hooks). Nil
+	// costs the hot path one pointer test per site.
+	Hooks *stf.Hooks
 }
 
 // DefaultSpinLimit is the busy-poll budget of dependency waits before the
@@ -59,7 +63,9 @@ type Engine struct {
 	spinLimit    int
 	stallTimeout time.Duration
 	guard        bool
+	hooks        *stf.Hooks
 	stats        trace.Stats
+	progress     atomic.Pointer[trace.ProgressTable]
 }
 
 // New returns a RIO engine for the given options.
@@ -86,6 +92,7 @@ func New(o Options) (*Engine, error) {
 		spinLimit:    sl,
 		stallTimeout: o.StallTimeout,
 		guard:        !o.NoGuard,
+		hooks:        o.Hooks,
 	}, nil
 }
 
@@ -143,6 +150,22 @@ func (e *Engine) run(ctx context.Context, numData int, guard bool, body func(*su
 	if numData < 0 {
 		return errors.New("core: negative numData")
 	}
+	rp := trace.NewProgressTable(e.workers)
+	e.progress.Store(rp)
+	if h := e.hooks; h != nil && h.OnRunStart != nil {
+		h.OnRunStart(e.workers, numData)
+	}
+	err := e.execute(ctx, numData, guard, rp, body)
+	rp.Finish()
+	if h := e.hooks; h != nil && h.OnRunEnd != nil {
+		h.OnRunEnd(err)
+	}
+	return err
+}
+
+// execute is run's engine room, split out so run can bracket it with the
+// progress table's lifecycle and the OnRunStart/OnRunEnd hooks.
+func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace.ProgressTable, body func(*submitter)) error {
 	shared := make([]sharedState, numData)
 	for i := range shared {
 		shared[i].lastExecutedWrite.Store(int64(stf.NoTask))
@@ -163,6 +186,8 @@ func (e *Engine) run(ctx context.Context, numData int, guard bool, body func(*su
 			local:  make([]localState, numData),
 			claims: claims,
 			abort:  abort,
+			prog:   rp.Worker(w),
+			hooks:  e.hooks,
 		}
 		if health != nil {
 			subs[w].health = &health[w]
@@ -290,8 +315,10 @@ type submitter struct {
 	local  []localState
 	claims *claimTable
 	abort  *abortState
-	health *workerHealth // nil unless the stall watchdog is armed
-	guard  *guardState   // nil when the divergence guard is disabled
+	health *workerHealth       // nil unless the stall watchdog is armed
+	guard  *guardState         // nil when the divergence guard is disabled
+	prog   *trace.ProgressCell // always-on published counters (Progress)
+	hooks  *stf.Hooks          // nil when no lifecycle hooks are installed
 	ws     trace.WorkerStats
 	err    error
 }
@@ -312,6 +339,7 @@ func (s *submitter) owns(id stf.TaskID) (execute, ok bool) {
 	case owner == stf.SharedWorker:
 		if s.claims.tryClaim(int64(id)) {
 			s.ws.Claimed++
+			s.prog.StoreClaimed(s.ws.Claimed)
 			return true, true
 		}
 		return false, true
@@ -385,9 +413,11 @@ func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
 		}
 		s.execLocked(t.Accesses, int64(id), func() { k(t, s.worker) })
 		s.ws.Executed++
+		s.prog.StoreExecuted(s.ws.Executed)
 	} else {
 		s.declare(t.Accesses, int64(id))
 		s.ws.Declared++
+		s.prog.StoreDeclared(s.ws.Declared)
 	}
 }
 
@@ -403,6 +433,10 @@ func (s *submitter) execLocked(accesses []stf.Access, id int64, run func()) {
 		h.setExec(id)
 		defer h.endExec()
 	}
+	s.prog.SetCurrent(stf.TaskID(id))
+	if h := s.hooks; h != nil && h.OnTaskStart != nil {
+		h.OnTaskStart(s.worker, stf.TaskID(id))
+	}
 	if s.eng.noAcct {
 		run()
 	} else {
@@ -410,6 +444,10 @@ func (s *submitter) execLocked(accesses []stf.Access, id int64, run func()) {
 		run()
 		s.ws.Task += time.Since(t0)
 	}
+	if h := s.hooks; h != nil && h.OnTaskEnd != nil {
+		h.OnTaskEnd(s.worker, stf.TaskID(id))
+	}
+	s.prog.SetCurrent(stf.NoTask)
 	s.release(accesses, id)
 }
 
@@ -436,9 +474,11 @@ func (s *submitter) submit(id stf.TaskID, accesses []stf.Access, run func()) {
 		}
 		s.execLocked(accesses, int64(id), run)
 		s.ws.Executed++
+		s.prog.StoreExecuted(s.ws.Executed)
 	} else {
 		s.declare(accesses, int64(id))
 		s.ws.Declared++
+		s.prog.StoreDeclared(s.ws.Declared)
 	}
 }
 

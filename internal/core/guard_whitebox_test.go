@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"rio/internal/stf"
+	"rio/internal/trace"
 )
 
 // foldHash folds one task into a fresh guard and returns the stream hash.
@@ -98,7 +99,7 @@ func TestWaitSpinBudgetIsPerWait(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := &workerHealth{}
-	s := &submitter{eng: e, abort: &abortState{}, health: h}
+	s := &submitter{eng: e, abort: &abortState{}, health: h, prog: &trace.ProgressCell{}}
 	const waits = 50
 	for i := 0; i < waits; i++ {
 		polls := 0

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"rio/internal/trace"
+)
+
+// Always-on run counters. Unlike workerHealth (maintained only when the
+// stall watchdog is armed) and the Stats decomposition (assembled after the
+// run), these counters are published on every run so that any goroutine can
+// snapshot the run's progress mid-flight via Engine.Progress — the
+// "is the flow moving, who is the straggler" question the watchdog only
+// answers once it has already given up. The table itself (padded per-worker
+// cells, atomic publication) lives in trace.ProgressTable and is shared by
+// all engines.
+
+// Progress snapshots the current (or, between runs, the most recent) run's
+// always-on counters. Safe to call from any goroutine at any time,
+// including while a run is in flight; before the first run it returns a
+// zero Progress.
+func (e *Engine) Progress() trace.Progress {
+	t := e.progress.Load()
+	if t == nil {
+		return trace.Progress{}
+	}
+	return t.Snapshot()
+}

@@ -29,6 +29,9 @@ func (s *submitter) wait(id stf.TaskID, a stf.Access, cond func() bool) {
 	if cond() {
 		return
 	}
+	if h := s.hooks; h != nil && h.OnWaitStart != nil {
+		h.OnWaitStart(s.worker, id, a)
+	}
 	var t0 time.Time
 	if !s.eng.noAcct {
 		t0 = time.Now()
@@ -77,6 +80,11 @@ func (s *submitter) wait(id stf.TaskID, a stf.Access, cond func() bool) {
 		s.health.setReplay()
 	}
 	if !s.eng.noAcct {
-		s.ws.Idle += time.Since(t0)
+		waited := time.Since(t0)
+		s.ws.Idle += waited
+		s.prog.AddWait(waited)
+	}
+	if h := s.hooks; h != nil && h.OnWaitEnd != nil {
+		h.OnWaitEnd(s.worker, id, a)
 	}
 }

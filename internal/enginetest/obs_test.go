@@ -1,0 +1,359 @@
+package enginetest_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"rio/internal/centralized"
+	"rio/internal/core"
+	"rio/internal/enginetest"
+	"rio/internal/graphs"
+	"rio/internal/sequential"
+	"rio/internal/stf"
+	"rio/internal/trace"
+)
+
+// Observability contract tests shared by every engine: the lifecycle
+// hooks must fire in bracketed, paired order, and the always-on Progress
+// counters must agree with the post-run Stats decomposition. Run under
+// -race these also verify that hooks and Progress snapshots are safe
+// against concurrently publishing workers.
+
+// hookLog is a concurrency-safe hook recorder that checks the firing
+// contract as it goes: run brackets around everything, task start/end
+// paired and non-overlapping per worker, wait start/end paired.
+type hookLog struct {
+	mu         sync.Mutex
+	runStarts  int
+	runEnds    int
+	runEndErr  error
+	taskStarts map[stf.TaskID]int
+	taskEnds   map[stf.TaskID]int
+	waitStarts int
+	waitEnds   int
+	open       map[stf.WorkerID]stf.TaskID
+	violations []string
+}
+
+func newHookLog() *hookLog {
+	return &hookLog{
+		taskStarts: map[stf.TaskID]int{},
+		taskEnds:   map[stf.TaskID]int{},
+		open:       map[stf.WorkerID]stf.TaskID{},
+	}
+}
+
+func (l *hookLog) violatef(format string, args ...any) {
+	if len(l.violations) < 10 {
+		l.violations = append(l.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+func (l *hookLog) hooks() *stf.Hooks {
+	return &stf.Hooks{
+		OnRunStart: func(workers, numData int) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			l.runStarts++
+			if len(l.taskStarts) > 0 {
+				l.violatef("OnRunStart after a task already started")
+			}
+		},
+		OnRunEnd: func(err error) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			l.runEnds++
+			l.runEndErr = err
+			for w, id := range l.open {
+				l.violatef("OnRunEnd with task %d still open on worker %d", id, w)
+			}
+		},
+		OnTaskStart: func(w stf.WorkerID, id stf.TaskID) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			if l.runStarts == 0 {
+				l.violatef("OnTaskStart(%d) before OnRunStart", id)
+			}
+			if l.runEnds > 0 {
+				l.violatef("OnTaskStart(%d) after OnRunEnd", id)
+			}
+			if prev, ok := l.open[w]; ok {
+				l.violatef("worker %d started task %d while task %d is open", w, id, prev)
+			}
+			l.open[w] = id
+			l.taskStarts[id]++
+		},
+		OnTaskEnd: func(w stf.WorkerID, id stf.TaskID) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			if prev, ok := l.open[w]; !ok || prev != id {
+				l.violatef("worker %d ended task %d without a matching start", w, id)
+			}
+			delete(l.open, w)
+			l.taskEnds[id]++
+		},
+		OnWaitStart: func(w stf.WorkerID, id stf.TaskID, a stf.Access) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			l.waitStarts++
+		},
+		OnWaitEnd: func(w stf.WorkerID, id stf.TaskID, a stf.Access) {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			l.waitEnds++
+		},
+	}
+}
+
+// check asserts the universal post-run invariants against g.
+func (l *hookLog) check(t *testing.T, g *stf.Graph) {
+	t.Helper()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, v := range l.violations {
+		t.Errorf("hook contract: %s", v)
+	}
+	if l.runStarts != 1 || l.runEnds != 1 {
+		t.Errorf("run hooks fired %d/%d times, want 1/1", l.runStarts, l.runEnds)
+	}
+	if l.runEndErr != nil {
+		t.Errorf("OnRunEnd reported error: %v", l.runEndErr)
+	}
+	for id := range g.Tasks {
+		if n := l.taskStarts[stf.TaskID(id)]; n != 1 {
+			t.Errorf("task %d: %d OnTaskStart calls, want 1", id, n)
+		}
+		if n := l.taskEnds[stf.TaskID(id)]; n != 1 {
+			t.Errorf("task %d: %d OnTaskEnd calls, want 1", id, n)
+		}
+	}
+	if len(l.taskStarts) != len(g.Tasks) {
+		t.Errorf("OnTaskStart saw %d distinct tasks, graph has %d", len(l.taskStarts), len(g.Tasks))
+	}
+	if l.waitStarts != l.waitEnds {
+		t.Errorf("unpaired wait hooks: %d starts, %d ends", l.waitStarts, l.waitEnds)
+	}
+}
+
+func TestHookContractAllEngines(t *testing.T) {
+	g := graphs.Wavefront(8, 8)
+	const p = 4
+
+	t.Run("rio-closure", func(t *testing.T) {
+		l := newHookLog()
+		e, err := core.New(core.Options{Workers: p, Hooks: l.hooks()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enginetest.Check(e, g); err != nil {
+			t.Fatal(err)
+		}
+		l.check(t, g)
+	})
+
+	t.Run("rio-compiled", func(t *testing.T) {
+		l := newHookLog()
+		e, err := core.New(core.Options{Workers: p, Hooks: l.hooks()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := func(id stf.TaskID) stf.WorkerID { return stf.WorkerID(id % p) }
+		cp, err := stf.Compile(g, m, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enginetest.CheckCompiled(e, g, cp); err != nil {
+			t.Fatal(err)
+		}
+		l.check(t, g)
+	})
+
+	t.Run("centralized", func(t *testing.T) {
+		l := newHookLog()
+		e, err := centralized.New(centralized.Options{Workers: p, Hooks: l.hooks()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enginetest.Check(e, g); err != nil {
+			t.Fatal(err)
+		}
+		l.check(t, g)
+	})
+
+	t.Run("sequential", func(t *testing.T) {
+		l := newHookLog()
+		e := sequential.New(sequential.Options{Hooks: l.hooks()})
+		if err := enginetest.Check(e, g); err != nil {
+			t.Fatal(err)
+		}
+		l.check(t, g)
+	})
+}
+
+// A panicking task body must skip OnTaskEnd (and fail the run), leaving
+// every other pairing intact.
+func TestHooksPanicSkipsTaskEnd(t *testing.T) {
+	l := newHookLog()
+	h := l.hooks()
+	// The bracketing checks assume clean completion; here the interesting
+	// bits are the counts only.
+	h.OnRunEnd = func(error) { l.mu.Lock(); l.runEnds++; l.mu.Unlock() }
+	e, err := core.New(core.Options{Workers: 2, Hooks: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := e.Run(1, func(s stf.Submitter) {
+		s.Submit(func() { panic("boom") }, stf.W(0))
+	})
+	if runErr == nil {
+		t.Fatal("run with panicking task returned nil error")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.taskStarts[0] != 1 {
+		t.Errorf("OnTaskStart fired %d times, want 1", l.taskStarts[0])
+	}
+	if l.taskEnds[0] != 0 {
+		t.Errorf("OnTaskEnd fired %d times for a panicking body, want 0", l.taskEnds[0])
+	}
+	if l.runEnds != 1 {
+		t.Errorf("OnRunEnd fired %d times, want 1", l.runEnds)
+	}
+}
+
+// Progress must agree with Stats once a run is over — including under
+// NoAccounting, where time decomposition stops but task counting does not.
+func TestProgressMatchesStats(t *testing.T) {
+	g := graphs.Wavefront(8, 8)
+	const p = 4
+	for _, noAcct := range []bool{false, true} {
+		name := "accounting"
+		if noAcct {
+			name = "noaccounting"
+		}
+		t.Run("rio-"+name, func(t *testing.T) {
+			e, err := core.New(core.Options{Workers: p, NoAccounting: noAcct})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := enginetest.Check(e, g); err != nil {
+				t.Fatal(err)
+			}
+			st, pr := e.Stats(), e.Progress()
+			if pr.Running {
+				t.Error("Progress.Running true after the run returned")
+			}
+			if len(pr.Workers) != len(st.Workers) {
+				t.Fatalf("Progress has %d workers, Stats %d", len(pr.Workers), len(st.Workers))
+			}
+			for w := range pr.Workers {
+				if pr.Workers[w].Executed != st.Workers[w].Executed {
+					t.Errorf("worker %d: Progress.Executed=%d, Stats.Executed=%d", w, pr.Workers[w].Executed, st.Workers[w].Executed)
+				}
+				if pr.Workers[w].Declared != st.Workers[w].Declared {
+					t.Errorf("worker %d: Progress.Declared=%d, Stats.Declared=%d", w, pr.Workers[w].Declared, st.Workers[w].Declared)
+				}
+				if pr.Workers[w].Claimed != st.Workers[w].Claimed {
+					t.Errorf("worker %d: Progress.Claimed=%d, Stats.Claimed=%d", w, pr.Workers[w].Claimed, st.Workers[w].Claimed)
+				}
+				if pr.Workers[w].Current != stf.NoTask {
+					t.Errorf("worker %d: Current=%d after the run, want NoTask", w, pr.Workers[w].Current)
+				}
+			}
+			hist := pr.WaitHist()
+			var waits int64
+			for _, n := range hist {
+				waits += n
+			}
+			if noAcct && waits != 0 {
+				t.Errorf("NoAccounting run bucketed %d waits, want 0", waits)
+			}
+		})
+	}
+
+	t.Run("centralized", func(t *testing.T) {
+		e, err := centralized.New(centralized.Options{Workers: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enginetest.Check(e, g); err != nil {
+			t.Fatal(err)
+		}
+		st, pr := e.Stats(), e.Progress()
+		if len(pr.Workers) != len(st.Workers) {
+			t.Fatalf("Progress has %d workers, Stats %d", len(pr.Workers), len(st.Workers))
+		}
+		if pr.Executed() != st.Executed() {
+			t.Errorf("Progress.Executed=%d, Stats.Executed=%d", pr.Executed(), st.Executed())
+		}
+		if got, want := pr.Workers[0].Declared, int64(len(g.Tasks)); got != want {
+			t.Errorf("master Declared=%d, want %d (all tasks submitted)", got, want)
+		}
+	})
+
+	t.Run("sequential", func(t *testing.T) {
+		e := sequential.New(sequential.Options{})
+		if err := enginetest.Check(e, g); err != nil {
+			t.Fatal(err)
+		}
+		pr := e.Progress()
+		if got, want := pr.Executed(), int64(len(g.Tasks)); got != want {
+			t.Errorf("Progress.Executed=%d, want %d", got, want)
+		}
+		if h := pr.WaitHist(); h != ([trace.NumWaitBuckets]int64{}) {
+			t.Errorf("sequential run bucketed waits: %v", h)
+		}
+	})
+}
+
+// Progress must be callable from any goroutine while a run is in flight
+// (the race detector is the real assertion here), and the snapshots must
+// be monotonic in the executed count.
+func TestProgressConcurrentWithRun(t *testing.T) {
+	g := graphs.Wavefront(16, 16)
+	const p = 4
+	e, err := core.New(core.Options{Workers: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pr := e.Progress()
+				if n := pr.Executed(); n < 0 || n > int64(len(g.Tasks)) {
+					panic(fmt.Sprintf("snapshot out of range: %d of %d", n, len(g.Tasks)))
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	var runErr error
+	for i := 0; i < 5; i++ {
+		if _, runErr = enginetest.Run(e, g); runErr != nil {
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	pr := e.Progress()
+	if pr.Running {
+		t.Error("Running true after all runs returned")
+	}
+	if got, want := pr.Executed(), int64(len(g.Tasks)); got != want {
+		t.Errorf("final Executed=%d, want %d", got, want)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rio/internal/stf"
@@ -19,18 +20,23 @@ import (
 // Engine executes STF programs sequentially. The zero value is not usable;
 // use New.
 type Engine struct {
-	noAcct bool
-	stats  trace.Stats
+	noAcct   bool
+	hooks    *stf.Hooks
+	stats    trace.Stats
+	progress atomic.Pointer[trace.ProgressTable]
 }
 
 // Options configures a sequential engine.
 type Options struct {
 	// NoAccounting disables per-task time-stamping.
 	NoAccounting bool
+	// Hooks optionally installs lifecycle callbacks (see stf.Hooks). The
+	// sequential engine never waits, so the wait hooks never fire.
+	Hooks *stf.Hooks
 }
 
 // New returns a sequential engine.
-func New(o Options) *Engine { return &Engine{noAcct: o.NoAccounting} }
+func New(o Options) *Engine { return &Engine{noAcct: o.NoAccounting, hooks: o.Hooks} }
 
 // Name identifies the execution model in reports.
 func (e *Engine) Name() string { return "sequential" }
@@ -54,7 +60,12 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 	if numData < 0 {
 		return errors.New("sequential: negative numData")
 	}
-	s := &submitter{noAcct: e.noAcct}
+	rp := trace.NewProgressTable(1)
+	e.progress.Store(rp)
+	if h := e.hooks; h != nil && h.OnRunStart != nil {
+		h.OnRunStart(1, numData)
+	}
+	s := &submitter{noAcct: e.noAcct, hooks: e.hooks, prog: rp.Worker(0)}
 	if ctx.Done() != nil {
 		s.ctx = ctx
 	}
@@ -68,7 +79,23 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 		}
 	}
 	e.stats = trace.Stats{Workers: []trace.WorkerStats{s.ws}, Wall: wall, Accounted: !e.noAcct}
+	rp.Finish()
+	if h := e.hooks; h != nil && h.OnRunEnd != nil {
+		h.OnRunEnd(s.err)
+	}
 	return s.err
+}
+
+// Progress snapshots the current (or, between runs, the most recent) run's
+// always-on counters: a single worker cell whose wait histogram is always
+// empty (the sequential engine never blocks on a dependency). Safe to call
+// from any goroutine; before the first run it returns a zero Progress.
+func (e *Engine) Progress() trace.Progress {
+	t := e.progress.Load()
+	if t == nil {
+		return trace.Progress{}
+	}
+	return t.Snapshot()
 }
 
 // Stats returns the time decomposition of the last Run.
@@ -78,6 +105,8 @@ type submitter struct {
 	next   stf.TaskID
 	noAcct bool
 	ctx    context.Context // non-nil only for cancelable runs
+	hooks  *stf.Hooks
+	prog   *trace.ProgressCell
 	ws     trace.WorkerStats
 	err    error
 }
@@ -118,21 +147,32 @@ func (s *submitter) run(f func()) {
 		s.err = fmt.Errorf("sequential: run canceled: %w", context.Cause(s.ctx))
 		return
 	}
+	id := s.next - 1
 	// A panicking task fails the run but does not unwind the caller
 	// (Submit keeps its documented return-after-execution contract);
-	// subsequent tasks are skipped via the sticky error.
+	// subsequent tasks are skipped via the sticky error. The unwinding
+	// panic skips OnTaskEnd and leaves Current parked on the failed task,
+	// matching the parallel engines' contract.
 	defer func() {
 		if r := recover(); r != nil {
-			s.err = fmt.Errorf("sequential: task %d panicked: %v", s.next-1, r)
+			s.err = fmt.Errorf("sequential: task %d panicked: %v", id, r)
 		}
 	}()
+	s.prog.SetCurrent(id)
+	if h := s.hooks; h != nil && h.OnTaskStart != nil {
+		h.OnTaskStart(stf.MasterWorker, id)
+	}
 	if s.noAcct {
 		f()
-		s.ws.Executed++
-		return
+	} else {
+		t0 := time.Now()
+		f()
+		s.ws.Task += time.Since(t0)
 	}
-	t0 := time.Now()
-	f()
-	s.ws.Task += time.Since(t0)
+	if h := s.hooks; h != nil && h.OnTaskEnd != nil {
+		h.OnTaskEnd(stf.MasterWorker, id)
+	}
+	s.prog.SetCurrent(stf.NoTask)
 	s.ws.Executed++
+	s.prog.StoreExecuted(s.ws.Executed)
 }

@@ -141,3 +141,98 @@ func TestRaceDetectorAllowsConcurrentReaders(t *testing.T) {
 		t.Errorf("readers flagged: %v", err)
 	}
 }
+
+// Structural validation of the graph-aware export: a three-task chain
+// (0 →(data) 1 →(data) 2) with hand-placed spans must produce thread
+// metadata, task slices, paired flow arrows along both dependency edges,
+// and ready/executed counter rows with the right final values.
+func TestWriteChromeTraceGraph(t *testing.T) {
+	g := stf.NewGraph("chain", 2)
+	g.Add(0, 0, 0, 0, stf.W(0))           // task 0
+	g.Add(0, 0, 0, 0, stf.R(0), stf.W(1)) // task 1 depends on 0
+	g.Add(0, 0, 0, 0, stf.R(1))           // task 2 depends on 1
+
+	rec := trace.NewRecorder(2)
+	rec.Record(0, trace.Span{Task: 0, Kernel: 0, Start: 0, End: 10 * time.Microsecond})
+	rec.Record(1, trace.Span{Task: 1, Kernel: 0, Start: 12 * time.Microsecond, End: 20 * time.Microsecond})
+	rec.Record(0, trace.Span{Task: 2, Kernel: 0, Start: 22 * time.Microsecond, End: 30 * time.Microsecond})
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTraceGraph(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+
+	byPhase := map[string][]map[string]any{}
+	for _, ev := range events {
+		ph, _ := ev["ph"].(string)
+		byPhase[ph] = append(byPhase[ph], ev)
+	}
+	if got := len(byPhase["X"]); got != 3 {
+		t.Errorf("task slices = %d, want 3", got)
+	}
+	if got := len(byPhase["M"]); got != 2 {
+		t.Errorf("thread metadata events = %d, want 2 (two active lanes)", got)
+	}
+	// Two dependency edges, each one s+f pair with matching IDs.
+	if got := len(byPhase["s"]); got != 2 {
+		t.Errorf("flow starts = %d, want 2", got)
+	}
+	if got := len(byPhase["f"]); got != 2 {
+		t.Errorf("flow finishes = %d, want 2", got)
+	}
+	starts := map[any]bool{}
+	for _, ev := range byPhase["s"] {
+		starts[ev["id"]] = true
+	}
+	for _, ev := range byPhase["f"] {
+		if !starts[ev["id"]] {
+			t.Errorf("flow finish id %v has no matching start", ev["id"])
+		}
+		if ev["bp"] != "e" {
+			t.Errorf("flow finish bp = %v, want \"e\"", ev["bp"])
+		}
+	}
+	// Counter rows: both series present; the last "executed" sample says 3,
+	// the last "ready" sample says 0 (everything ran).
+	lastVal := map[string]float64{}
+	for _, ev := range byPhase["C"] {
+		name, _ := ev["name"].(string)
+		args, _ := ev["args"].(map[string]any)
+		v, _ := args["tasks"].(float64)
+		lastVal[name] = v
+	}
+	if _, ok := lastVal["ready"]; !ok {
+		t.Fatal("no \"ready\" counter row")
+	}
+	if v := lastVal["executed"]; v != 3 {
+		t.Errorf("final executed counter = %v, want 3", v)
+	}
+	if v := lastVal["ready"]; v != 0 {
+		t.Errorf("final ready counter = %v, want 0", v)
+	}
+}
+
+// The master lane must keep master spans out of worker 0's lane and get
+// its own labeled row.
+func TestRecorderMasterLane(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	rec.Record(stf.MasterWorker, trace.Span{Task: 0, Kernel: 0, Start: 0, End: time.Microsecond})
+	rec.Record(0, trace.Span{Task: 1, Kernel: 0, Start: 0, End: time.Microsecond})
+	if n := len(rec.Spans(0)); n != 1 {
+		t.Errorf("worker 0 lane has %d spans, want 1 (master span folded in?)", n)
+	}
+	if n := len(rec.MasterSpans()); n != 1 {
+		t.Errorf("master lane has %d spans, want 1", n)
+	}
+	var buf bytes.Buffer
+	if err := rec.Gantt(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "m    |") {
+		t.Errorf("Gantt output missing the master row:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics writes a Progress snapshot in the Prometheus text
+// exposition format (one scrape's worth of samples; pair it with an HTTP
+// handler that snapshots the engine per request). Counters reset when a
+// new run starts: each run publishes a fresh table, so a scraper sees a
+// per-run progression, not a process-lifetime total.
+//
+// The wait histogram is emitted in cumulative Prometheus convention
+// (bucket le="0.001" counts all waits at most 1ms). No _sum series is
+// emitted: the engines bucket wait durations without totalling them —
+// one atomic increment per wait keeps the always-on cost flat.
+func WriteMetrics(w io.Writer, p Progress) error {
+	running := 0
+	if p.Running {
+		running = 1
+	}
+	ew := &errWriter{w: w}
+	ew.printf("# HELP rio_run_running Whether a run is currently in flight.\n")
+	ew.printf("# TYPE rio_run_running gauge\n")
+	ew.printf("rio_run_running %d\n", running)
+
+	ew.printf("# HELP rio_tasks_executed_total Tasks executed so far, per worker.\n")
+	ew.printf("# TYPE rio_tasks_executed_total counter\n")
+	for i := range p.Workers {
+		ew.printf("rio_tasks_executed_total{worker=\"%d\"} %d\n", i, p.Workers[i].Executed)
+	}
+	ew.printf("# HELP rio_tasks_declared_total Declare-only task visits so far, per worker.\n")
+	ew.printf("# TYPE rio_tasks_declared_total counter\n")
+	for i := range p.Workers {
+		ew.printf("rio_tasks_declared_total{worker=\"%d\"} %d\n", i, p.Workers[i].Declared)
+	}
+	ew.printf("# HELP rio_tasks_claimed_total Dynamically claimed executions so far, per worker.\n")
+	ew.printf("# TYPE rio_tasks_claimed_total counter\n")
+	for i := range p.Workers {
+		ew.printf("rio_tasks_claimed_total{worker=\"%d\"} %d\n", i, p.Workers[i].Claimed)
+	}
+	ew.printf("# HELP rio_worker_current_task Task ID the worker is executing, -1 when idle.\n")
+	ew.printf("# TYPE rio_worker_current_task gauge\n")
+	for i := range p.Workers {
+		ew.printf("rio_worker_current_task{worker=\"%d\"} %d\n", i, int64(p.Workers[i].Current))
+	}
+	ew.printf("# HELP rio_wait_duration_seconds Completed dependency-wait durations, per worker.\n")
+	ew.printf("# TYPE rio_wait_duration_seconds histogram\n")
+	for i := range p.Workers {
+		var cum int64
+		for b, n := range p.Workers[i].WaitHist {
+			cum += n
+			if b < len(WaitBucketBounds) {
+				ew.printf("rio_wait_duration_seconds_bucket{worker=\"%d\",le=\"%g\"} %d\n",
+					i, WaitBucketBounds[b].Seconds(), cum)
+			} else {
+				ew.printf("rio_wait_duration_seconds_bucket{worker=\"%d\",le=\"+Inf\"} %d\n", i, cum)
+			}
+		}
+		ew.printf("rio_wait_duration_seconds_count{worker=\"%d\"} %d\n", i, cum)
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error so the exposition code above
+// stays a flat list of printf lines.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,67 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rio/internal/stf"
+	"rio/internal/trace"
+)
+
+func TestWriteMetricsExposition(t *testing.T) {
+	p := trace.Progress{
+		Running: true,
+		Workers: []trace.WorkerProgress{
+			{Executed: 5, Declared: 7, Claimed: 1, Current: 12},
+			{Executed: 3, Declared: 9, Current: stf.NoTask},
+		},
+	}
+	p.Workers[0].WaitHist[0] = 2 // < 1µs
+	p.Workers[0].WaitHist[3] = 1 // < 1ms
+	var buf bytes.Buffer
+	if err := trace.WriteMetrics(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"rio_run_running 1",
+		`rio_tasks_executed_total{worker="0"} 5`,
+		`rio_tasks_executed_total{worker="1"} 3`,
+		`rio_tasks_declared_total{worker="1"} 9`,
+		`rio_tasks_claimed_total{worker="0"} 1`,
+		`rio_worker_current_task{worker="0"} 12`,
+		`rio_worker_current_task{worker="1"} -1`,
+		// Histogram buckets are cumulative: the 1ms bucket includes the
+		// two sub-µs waits plus the sub-ms one.
+		`rio_wait_duration_seconds_bucket{worker="0",le="1e-06"} 2`,
+		`rio_wait_duration_seconds_bucket{worker="0",le="0.001"} 3`,
+		`rio_wait_duration_seconds_bucket{worker="0",le="+Inf"} 3`,
+		`rio_wait_duration_seconds_count{worker="0"} 3`,
+		"# TYPE rio_wait_duration_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWaitBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{999 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{999 * time.Microsecond, 3},
+		{time.Second, trace.NumWaitBuckets - 1},
+		{time.Hour, trace.NumWaitBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := trace.WaitBucket(c.d); got != c.want {
+			t.Errorf("WaitBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

@@ -35,11 +35,26 @@ type Span struct {
 	Start, End time.Duration
 }
 
-// NewRecorder returns a recorder with one lane per worker. The epoch is
-// the moment of the call.
+// NewRecorder returns a recorder with one lane per worker plus a dedicated
+// master lane (for spans recorded under a negative WorkerID — the control
+// thread of the sequential and centralized engines). The epoch is the
+// moment of the call.
 func NewRecorder(workers int) *Recorder {
-	return &Recorder{start: time.Now(), lanes: make([][]Span, workers)}
+	return &Recorder{start: time.Now(), lanes: make([][]Span, workers+1)}
 }
+
+// lane maps a WorkerID to its lane index: workers keep their own index,
+// every negative ID (the master) resolves to the dedicated last lane —
+// master spans must not pollute worker 0's timeline.
+func (r *Recorder) lane(w stf.WorkerID) int {
+	if w < 0 {
+		return len(r.lanes) - 1
+	}
+	return int(w)
+}
+
+// MasterSpans returns the spans recorded under negative worker IDs.
+func (r *Recorder) MasterSpans() []Span { return r.lanes[len(r.lanes)-1] }
 
 // Reset clears all lanes and restarts the epoch.
 func (r *Recorder) Reset() {
@@ -50,13 +65,11 @@ func (r *Recorder) Reset() {
 }
 
 // Instrument wraps k so every execution is recorded. Workers with negative
-// IDs (the sequential engine's master) record into lane 0.
+// IDs (a master executing inline, e.g. the sequential engine) record into
+// the dedicated master lane, not worker 0's.
 func (r *Recorder) Instrument(k stf.Kernel) stf.Kernel {
 	return func(t *stf.Task, w stf.WorkerID) {
-		lane := int(w)
-		if lane < 0 {
-			lane = 0
-		}
+		lane := r.lane(w)
 		s := time.Since(r.start)
 		k(t, w)
 		r.lanes[lane] = append(r.lanes[lane], Span{
@@ -70,10 +83,7 @@ func (r *Recorder) Instrument(k stf.Kernel) stf.Kernel {
 
 // Record appends a span directly (for closure tasks instrumented by hand).
 func (r *Recorder) Record(w stf.WorkerID, s Span) {
-	lane := int(w)
-	if lane < 0 {
-		lane = 0
-	}
+	lane := r.lane(w)
 	r.lanes[lane] = append(r.lanes[lane], s)
 }
 
@@ -160,6 +170,9 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 		bucket = 1
 	}
 	for lane, spans := range r.lanes {
+		if lane == len(r.lanes)-1 && len(spans) == 0 {
+			continue // master lane: only shown when something ran on it
+		}
 		busy := make([]time.Duration, width)
 		for _, s := range spans {
 			for b := 0; b < width; b++ {
@@ -182,7 +195,11 @@ func (r *Recorder) Gantt(w io.Writer, width int) error {
 				row.WriteByte('.')
 			}
 		}
-		if _, err := fmt.Fprintf(w, "w%-3d |%s|\n", lane, row.String()); err != nil {
+		label := fmt.Sprintf("w%-3d", lane)
+		if lane == len(r.lanes)-1 {
+			label = "m   " // the master lane
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, row.String()); err != nil {
 			return err
 		}
 	}

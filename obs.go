@@ -1,0 +1,72 @@
+package rio
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/pprof"
+
+	"rio/internal/trace"
+)
+
+// Observability helpers: exporting a Runtime's always-on Progress counters
+// to the standard monitoring surfaces (Prometheus text format, expvar) and
+// tagging task execution with pprof labels. All of them only *read* the
+// engine's counters; none of them changes what a run does.
+
+// WriteMetrics writes a Progress snapshot in the Prometheus text
+// exposition format. See MetricsHandler for serving an engine over HTTP;
+// use WriteMetrics directly to embed the samples in an existing handler
+// or a log.
+func WriteMetrics(w io.Writer, p Progress) error {
+	return trace.WriteMetrics(w, p)
+}
+
+// MetricsHandler returns an http.Handler exposing rt's Progress counters
+// in the Prometheus text exposition format. Each request takes a fresh
+// snapshot, so the handler can be scraped while a run is in flight:
+//
+//	http.Handle("/metrics", rio.MetricsHandler(rt))
+//
+// The counters reset when a new run starts (each run publishes a fresh
+// table); scrapers see per-run progressions, not process-lifetime totals.
+func MetricsHandler(rt Runtime) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		p := rt.Progress()
+		if err := trace.WriteMetrics(w, p); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+}
+
+// PublishExpvar publishes rt's Progress under the given expvar name (the
+// /debug/vars JSON surface). It must be called once per name per process
+// — expvar.Publish panics on duplicates, mirroring expvar's own contract.
+func PublishExpvar(name string, rt Runtime) {
+	expvar.Publish(name, expvar.Func(func() any { return rt.Progress() }))
+}
+
+// LabelKernels wraps k so every execution runs under pprof labels
+//
+//	rio_kernel=<kernelName(t.Kernel)>  rio_worker=<w>
+//
+// making CPU profiles of a run attributable per kernel and per worker
+// (`go tool pprof -tagfocus`). kernelName may be nil ("kernel <id>").
+// The labels cost two small allocations per task — wrap only when
+// profiling; the engines themselves never label.
+func LabelKernels(k Kernel, kernelName func(int) string) Kernel {
+	name := kernelName
+	if name == nil {
+		name = func(sel int) string { return fmt.Sprintf("kernel %d", sel) }
+	}
+	return func(t *Task, w WorkerID) {
+		labels := pprof.Labels("rio_kernel", name(t.Kernel), "rio_worker", fmt.Sprintf("%d", w))
+		pprof.Do(context.Background(), labels, func(context.Context) {
+			k(t, w)
+		})
+	}
+}

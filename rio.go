@@ -72,6 +72,18 @@ type (
 	Stats = trace.Stats
 	// Efficiency is the e_g·e_l·e_p·e_r decomposition of §2.3.
 	Efficiency = trace.Efficiency
+	// Hooks installs lifecycle callbacks on an engine (Options.Hooks):
+	// run start/end, task start/end, dependency-wait start/end. A nil
+	// Hooks pointer — the default — costs the hot path one pointer test
+	// per site; see the field docs for the exact firing contract.
+	Hooks = stf.Hooks
+	// Progress is a mid-run snapshot of a run's always-on counters
+	// (Runtime.Progress): per-worker executed/declared/claimed tallies,
+	// the task each worker is executing right now, and a wait-time
+	// histogram. Safe to take from any goroutine while a run is in flight.
+	Progress = trace.Progress
+	// WorkerProgress is one worker's slice of a Progress snapshot.
+	WorkerProgress = trace.WorkerProgress
 
 	// StallError is the stall watchdog's structured diagnosis: no task
 	// completed for Options.StallTimeout and the error names which
@@ -238,6 +250,11 @@ type Options struct {
 	// runtimes ignore it; explicit Compile calls take pruning as an
 	// argument instead.
 	Prune bool
+	// Hooks optionally installs lifecycle callbacks fired by every engine:
+	// run start/end, task start/end and dependency-wait start/end. The
+	// callbacks run on the worker goroutines and must be concurrency-safe;
+	// nil (the default) costs the hot path one pointer test per site.
+	Hooks *Hooks
 	// Preflight, when non-zero, runs the selected static-analysis passes
 	// (internal/analyze) over the program in record mode before every
 	// Run: the program is recorded once — no task body executes — and
@@ -266,14 +283,44 @@ type Runtime interface {
 	RunContext(ctx context.Context, numData int, prog Program) error
 	// Stats returns the time decomposition of the last Run.
 	Stats() *Stats
+	// Progress snapshots the current (or most recent) run's always-on
+	// counters. Safe to call from any goroutine at any time, including
+	// while a run is in flight; before the first run it returns a zero
+	// Progress.
+	Progress() Progress
 	// Name identifies the engine ("rio", "centralized-fifo", ...).
 	Name() string
 	// NumWorkers returns the number of threads the engine uses.
 	NumWorkers() int
 }
 
-// New builds a Runtime for the given options.
+// GraphRunner is implemented by runtimes that execute recorded graphs
+// directly through the compiled fast path (per-worker instruction streams,
+// cached per graph). The in-order Engine implements it; New returns a
+// GraphRunner whenever Options.Model is InOrder.
+type GraphRunner interface {
+	// RunGraph executes g with kernel k, compiling (and caching) the
+	// graph's per-worker instruction streams on first use.
+	RunGraph(g *Graph, k Kernel) error
+	// RunGraphContext is RunGraph with cancellation.
+	RunGraphContext(ctx context.Context, g *Graph, k Kernel) error
+}
+
+// New builds a Runtime for the given options. With Model InOrder (the
+// default) the returned Runtime is a caching *Engine: it additionally
+// implements GraphRunner, so recorded graphs can take the compiled fast
+// path without a separate NewEngine call —
+//
+//	rt, _ := rio.New(rio.Options{Workers: 4})
+//	if gr, ok := rt.(rio.GraphRunner); ok {
+//	    err = gr.RunGraph(g, kernel)
+//	}
 func New(o Options) (Runtime, error) {
+	if o.Model == InOrder {
+		// The caching engine applies Timeout and Preflight itself, across
+		// both the closure and the compiled path.
+		return NewEngine(o)
+	}
 	rt, err := newEngine(o)
 	if err != nil {
 		return nil, err
@@ -287,17 +334,25 @@ func New(o Options) (Runtime, error) {
 	return rt, nil
 }
 
+// coreOptions is the single translation of the public Options into the
+// in-order engine's — shared by New and NewEngine so every option (Hooks
+// included) is wired exactly once.
+func coreOptions(o Options) core.Options {
+	return core.Options{
+		Workers:      o.Workers,
+		Mapping:      o.Mapping,
+		NoAccounting: o.NoAccounting,
+		SpinLimit:    o.SpinLimit,
+		StallTimeout: o.StallTimeout,
+		NoGuard:      o.NoGuard,
+		Hooks:        o.Hooks,
+	}
+}
+
 func newEngine(o Options) (Runtime, error) {
 	switch o.Model {
 	case InOrder:
-		return core.New(core.Options{
-			Workers:      o.Workers,
-			Mapping:      o.Mapping,
-			NoAccounting: o.NoAccounting,
-			SpinLimit:    o.SpinLimit,
-			StallTimeout: o.StallTimeout,
-			NoGuard:      o.NoGuard,
-		})
+		return core.New(coreOptions(o))
 	case Centralized, CentralizedWS, CentralizedPrio:
 		kind := centralized.FIFO
 		switch o.Model {
@@ -312,16 +367,64 @@ func newEngine(o Options) (Runtime, error) {
 			Window:       o.Window,
 			Hint:         o.Mapping,
 			NoAccounting: o.NoAccounting,
+			Hooks:        o.Hooks,
 		})
 	case Sequential:
-		return sequential.New(sequential.Options{NoAccounting: o.NoAccounting}), nil
+		return sequential.New(sequential.Options{NoAccounting: o.NoAccounting, Hooks: o.Hooks}), nil
 	}
 	return nil, fmt.Errorf("rio: unknown model %v", o.Model)
 }
 
+// deadlineContext applies an Options.Timeout to ctx: with a positive
+// timeout it derives a deadline context (composing with any deadline ctx
+// already carries — the earlier one wins), otherwise it returns ctx
+// unchanged with a no-op cancel. The single implementation behind both
+// the deadlineRuntime decorator and the caching Engine.
+func deadlineContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {}
+}
+
+// preflightConfig assembles the static-analysis configuration for the
+// given options, mirroring the in-order engine's default mapping so the
+// mapping pass analyzes what will actually run.
+func preflightConfig(o Options, workers int) analyze.Config {
+	cfg := analyze.Config{
+		Passes:  o.Preflight,
+		Workers: workers,
+		Mapping: o.Mapping,
+		InOrder: o.Model == InOrder,
+	}
+	if cfg.Mapping == nil && o.Model == InOrder {
+		cfg.Mapping = CyclicMapping(workers)
+	}
+	return cfg
+}
+
+// preflightProgram records prog (no task body executes) and runs the
+// selected passes; a Warning-or-worse finding rejects the run with a
+// *PreflightError.
+func preflightProgram(numData int, prog Program, o Options, workers int) error {
+	report, _ := analyze.Program(numData, prog, preflightConfig(o, workers))
+	if report.Reject() {
+		return &PreflightError{Report: report}
+	}
+	return nil
+}
+
+// preflightGraph runs the selected passes over an already-recorded graph.
+func preflightGraph(g *Graph, o Options, workers int) error {
+	report := analyze.Graph(g, preflightConfig(o, workers))
+	if report.Reject() {
+		return &PreflightError{Report: report}
+	}
+	return nil
+}
+
 // deadlineRuntime bounds every run of the wrapped engine with
-// Options.Timeout, composing with any deadline the caller's context
-// already carries (the earlier one wins).
+// Options.Timeout.
 type deadlineRuntime struct {
 	Runtime
 	timeout time.Duration
@@ -332,7 +435,7 @@ func (d *deadlineRuntime) Run(numData int, prog Program) error {
 }
 
 func (d *deadlineRuntime) RunContext(ctx context.Context, numData int, prog Program) error {
-	ctx, cancel := context.WithTimeout(ctx, d.timeout)
+	ctx, cancel := deadlineContext(ctx, d.timeout)
 	defer cancel()
 	return d.Runtime.RunContext(ctx, numData, prog)
 }
@@ -354,20 +457,8 @@ func (p *preflightRuntime) RunContext(ctx context.Context, numData int, prog Pro
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("rio: run not started: %w", context.Cause(ctx))
 	}
-	cfg := analyze.Config{
-		Passes:  p.opts.Preflight,
-		Workers: p.Runtime.NumWorkers(),
-		Mapping: p.opts.Mapping,
-		InOrder: p.opts.Model == InOrder,
-	}
-	if cfg.Mapping == nil && p.opts.Model == InOrder {
-		// Mirror the engine's own default so the mapping pass analyzes
-		// what will actually run.
-		cfg.Mapping = CyclicMapping(cfg.Workers)
-	}
-	report, _ := analyze.Program(numData, prog, cfg)
-	if report.Reject() {
-		return &PreflightError{Report: report}
+	if err := preflightProgram(numData, prog, p.opts, p.Runtime.NumWorkers()); err != nil {
+		return err
 	}
 	return p.Runtime.RunContext(ctx, numData, prog)
 }
