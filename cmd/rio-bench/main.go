@@ -16,11 +16,16 @@
 //	rio-bench replay     replay-path ablation on the fig7 workload: closure
 //	                     replay vs compiled per-worker instruction streams
 //	                     (plus guard-off and compile-time-pruned variants)
+//	rio-bench sync       synchronization ablation: wait policies (adaptive,
+//	                     spin, park, sleep) on contended readers-writer and
+//	                     reduction rounds plus the uncontended fig7 replay,
+//	                     reporting wall, ns/task and process CPU time
 //	rio-bench all        fig2..fig8 + costmodel (run sim/sim7/hpl/ablation
 //	                     separately; they have their own time budgets)
 //
 // Flags scale the workloads; defaults are laptop-sized versions of the
-// paper's parameters. Use -csv to emit machine-readable output.
+// paper's parameters. Use -csv or -json to emit machine-readable output
+// (-json writes the BENCH_*.json perf-trajectory schema CI archives).
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"rio/internal/bench"
 )
@@ -55,12 +61,19 @@ func run(args []string) error {
 		perW       = fs.Int("tasks-per-worker", 8192, "fig7 tasks per worker (paper: 32768)")
 		f7size     = fs.Uint64("fig7-task-size", 1024, "fig7 fixed task size")
 		csvOut     = fs.Bool("csv", false, "emit CSV instead of a text table")
+		jsonOut    = fs.Bool("json", false, "emit the BENCH_*.json perf-trajectory array instead of a text table")
+		rounds     = fs.Int("sync-rounds", 200, "sync only: writer/readers rounds of the contended workloads")
+		readers    = fs.Int("sync-readers", 0, "sync only: readers per round (0 = workers)")
+		syncSize   = fs.Uint64("sync-task-size", 2000, "sync only: counter task size; nonzero makes waits long enough that the sleep ladder's oversleep shows")
+		syncBlock  = fs.Duration("sync-block", 200*time.Microsecond, "sync only: sleeping task body of the blocking workload (0 disables it)")
+		syncSpin   = fs.Int("sync-spin", 0, "sync only: SpinLimit override (0 = engine default)")
+		syncYield  = fs.Int("sync-yield", 0, "sync only: YieldLimit override (0 = engine default); small values force contended waits into the policies' slow phases")
 		simWorkers = fs.Int("sim-workers", 24, "simulated thread count for the sim subcommand (paper: 24)")
 		exp        = fs.Int("experiment", 0, "fig8 only: restrict to one experiment 1..4 (0 = all)")
 		chromeOut  = fs.String("chrome", "", "replay only: also write a Chrome trace of one traced run to this file")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|replay|all}")
+		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|replay|sync|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -168,6 +181,17 @@ func run(args []string) error {
 				}
 			}
 		}
+	case "sync":
+		r := *readers
+		if r == 0 {
+			r = *workers
+		}
+		err = addRows(bench.SyncAblation(bench.SyncConfig{
+			Workers: *workers, Rounds: *rounds, Readers: r,
+			TasksPerWorker: *perW, TaskSize: *syncSize, BlockDur: *syncBlock,
+			SpinLimit: *syncSpin, YieldLimit: *syncYield,
+			Warmup: *warmup, Reps: *reps,
+		}))
 	case "costmodel":
 		rep, cerr := bench.CostModel(ccfg)
 		if cerr != nil {
@@ -201,7 +225,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *csvOut {
+	switch {
+	case *jsonOut:
+		return bench.WriteJSON(os.Stdout, rows)
+	case *csvOut:
 		return bench.WriteCSV(os.Stdout, rows)
 	}
 	return bench.RenderRows(os.Stdout, rows)

@@ -1,0 +1,213 @@
+// Command rio-benchdiff compares two `go test -bench` outputs and fails on
+// per-task performance regressions — the CI perf-regression smoke gate.
+//
+//	go test -run='^$' -bench='CompiledReplay|SyncContention' -benchtime=... . > new.txt
+//	rio-benchdiff -baseline .github/bench-baseline.txt -tolerance 0.15 new.txt
+//
+// It is a dependency-free stand-in for benchstat, tuned to this
+// repository's benchmarks: for every benchmark name present in both files
+// it compares the ns/task custom metric (falling back to ns/op when a
+// benchmark does not report one) and exits non-zero when the current value
+// exceeds the baseline by more than the tolerance. Benchmarks present in
+// only one file are listed but never fail the gate, so adding or renaming
+// benchmarks does not require a lockstep baseline update.
+//
+// Repeated measurements of one benchmark (-count > 1) are reduced to their
+// minimum before comparison: for CPU-bound microbenchmarks scheduler and
+// neighbor noise only ever adds time, so the minimum estimates the true
+// cost with far less cross-run drift than the median on shared runners —
+// the property a 15% gate needs to not flake. The trailing -N GOMAXPROCS
+// suffix is stripped from names so baselines survive runner shape changes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rio-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rio-benchdiff", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "", "baseline `file` of go-bench output (required)")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional ns/task increase before failing")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rio-benchdiff -baseline old.txt [-tolerance 0.15] [new.txt]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" {
+		fs.Usage()
+		return fmt.Errorf("-baseline is required")
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return fmt.Errorf("at most one input file")
+	}
+
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	cur := stdin
+	curName := "<stdin>"
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cur, curName = f, fs.Arg(0)
+	}
+	current, err := parseBench(cur)
+	if err != nil {
+		return fmt.Errorf("%s: %w", curName, err)
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("%s: no benchmark results", curName)
+	}
+
+	report := diff(base, current, *tolerance)
+	for _, l := range report.lines {
+		fmt.Fprintln(stdout, l)
+	}
+	if len(report.regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(report.regressions), *tolerance*100, strings.Join(report.regressions, ", "))
+	}
+	return nil
+}
+
+// result is one benchmark's reduced measurement in nanoseconds per task
+// (or per op when no ns/task metric is reported).
+type result struct {
+	value float64
+	unit  string
+}
+
+var nameSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads go-test benchmark output: lines of the form
+//
+//	BenchmarkName/sub-4  10  123456 ns/op  45.60 ns/task
+//
+// Every other line (headers, PASS, metrics we do not track) is ignored.
+// Multiple lines for one name reduce to the minimum value (see the package
+// comment for why minimum, not median).
+func parseBench(r io.Reader) (map[string]result, error) {
+	raw := map[string][]result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := nameSuffix.ReplaceAllString(f[0], "")
+		// Scan the value/unit pairs after the iteration count; prefer
+		// ns/task, fall back to ns/op.
+		var nsOp, nsTask float64
+		var haveOp, haveTask bool
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/task":
+				nsTask, haveTask = v, true
+			case "ns/op":
+				nsOp, haveOp = v, true
+			}
+		}
+		switch {
+		case haveTask:
+			raw[name] = append(raw[name], result{nsTask, "ns/task"})
+		case haveOp:
+			raw[name] = append(raw[name], result{nsOp, "ns/op"})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result, len(raw))
+	for name, rs := range raw {
+		best := rs[0]
+		for _, r := range rs[1:] {
+			if r.value < best.value {
+				best = r
+			}
+		}
+		out[name] = best
+	}
+	return out, nil
+}
+
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := parseBench(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return m, nil
+}
+
+type diffReport struct {
+	lines       []string
+	regressions []string
+}
+
+// diff compares current against base; a benchmark regresses when its value
+// exceeds base·(1+tolerance).
+func diff(base, current map[string]result, tolerance float64) diffReport {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rep diffReport
+	for _, name := range names {
+		cur := current[name]
+		old, ok := base[name]
+		if !ok || old.unit != cur.unit || old.value <= 0 {
+			rep.lines = append(rep.lines, fmt.Sprintf("%-60s %12.2f %s (no comparable baseline)", name, cur.value, cur.unit))
+			continue
+		}
+		delta := cur.value/old.value - 1
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSION"
+			rep.regressions = append(rep.regressions, name)
+		}
+		rep.lines = append(rep.lines, fmt.Sprintf("%-60s %12.2f -> %12.2f %s  %+6.1f%%  %s",
+			name, old.value, cur.value, cur.unit, delta*100, status))
+	}
+	for name := range base {
+		if _, ok := current[name]; !ok {
+			rep.lines = append(rep.lines, fmt.Sprintf("%-60s (in baseline only)", name))
+		}
+	}
+	sort.Strings(rep.lines[len(names):])
+	return rep
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+BenchmarkCompiledReplay/closure-4      	      50	   2000000 ns/op	       100.0 ns/task
+BenchmarkCompiledReplay/compiled-4     	     100	   1000000 ns/op	        50.00 ns/task
+BenchmarkSyncContention/park-4         	      20	   5000000 ns/op	       200.0 ns/task
+BenchmarkNoMetric-4                    	    1000	      1234 ns/op
+PASS
+`
+
+func TestParseBenchPrefersNsTask(t *testing.T) {
+	m, err := parseBench(strings.NewReader(sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["BenchmarkCompiledReplay/compiled"]; got.value != 50 || got.unit != "ns/task" {
+		t.Errorf("compiled = %+v", got)
+	}
+	if got := m["BenchmarkNoMetric"]; got.value != 1234 || got.unit != "ns/op" {
+		t.Errorf("ns/op fallback = %+v", got)
+	}
+}
+
+func TestParseBenchMinOverRepeats(t *testing.T) {
+	in := `BenchmarkX-4 10 1 ns/op 30.0 ns/task
+BenchmarkX-4 10 1 ns/op 10.0 ns/task
+BenchmarkX-8 10 1 ns/op 20.0 ns/task
+`
+	m, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The -N suffix is stripped, so all three lines are one benchmark;
+	// repeats reduce to the minimum of {10, 20, 30}.
+	if got := m["BenchmarkX"]; got.value != 10 {
+		t.Errorf("min = %v, want 10", got.value)
+	}
+}
+
+func TestDiffFlagsRegressionBeyondTolerance(t *testing.T) {
+	base := map[string]result{
+		"A": {100, "ns/task"},
+		"B": {100, "ns/task"},
+		"C": {100, "ns/task"},
+	}
+	current := map[string]result{
+		"A": {110, "ns/task"}, // +10%: within tolerance
+		"B": {130, "ns/task"}, // +30%: regression
+		"D": {50, "ns/task"},  // new benchmark: reported, never fails
+	}
+	rep := diff(base, current, 0.15)
+	if len(rep.regressions) != 1 || rep.regressions[0] != "B" {
+		t.Fatalf("regressions = %v, want [B]", rep.regressions)
+	}
+	joined := strings.Join(rep.lines, "\n")
+	for _, want := range []string{"REGRESSION", "no comparable baseline", "in baseline only"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	if err := os.WriteFile(basePath, []byte(sampleOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical input: the gate passes.
+	var out bytes.Buffer
+	if err := run([]string{"-baseline", basePath}, strings.NewReader(sampleOld), &out); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+
+	// A >15% ns/task regression on one benchmark: the gate fails and names it.
+	regressed := strings.Replace(sampleOld, "50.00 ns/task", "80.00 ns/task", 1)
+	out.Reset()
+	err := run([]string{"-baseline", basePath}, strings.NewReader(regressed), &out)
+	if err == nil {
+		t.Fatalf("regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkCompiledReplay/compiled") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+
+	// Missing baseline flag is a usage error.
+	if err := run(nil, strings.NewReader(sampleOld), &out); err == nil {
+		t.Error("missing -baseline accepted")
+	}
+}

@@ -85,12 +85,21 @@ func Measure(e Engine, numData int, prog stf.Program, warmup, reps int) (time.Du
 // compiled replay, …): warmup+reps runs, median wall time, stats of the
 // median run as reported by stats() after each run.
 func MeasureRun(run func() error, stats func() *trace.Stats, warmup, reps int) (time.Duration, *trace.Stats, error) {
+	wall, _, st, err := MeasureRunCPU(run, stats, warmup, reps)
+	return wall, st, err
+}
+
+// MeasureRunCPU is MeasureRun plus process-CPU accounting: it additionally
+// returns the mean CPU time (user+system, whole process) per measured run,
+// taken as a getrusage delta around the timed repetitions. Zero on
+// platforms without rusage.
+func MeasureRunCPU(run func() error, stats func() *trace.Stats, warmup, reps int) (time.Duration, time.Duration, *trace.Stats, error) {
 	if reps < 1 {
 		reps = 1
 	}
 	for i := 0; i < warmup; i++ {
 		if err := run(); err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
 	}
 	type sample struct {
@@ -98,16 +107,18 @@ func MeasureRun(run func() error, stats func() *trace.Stats, warmup, reps int) (
 		stats trace.Stats
 	}
 	samples := make([]sample, 0, reps)
+	cpu0 := cpuTime()
 	for i := 0; i < reps; i++ {
 		if err := run(); err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
 		st := *stats()
 		samples = append(samples, sample{st.Wall, st})
 	}
+	cpu := (cpuTime() - cpu0) / time.Duration(reps)
 	sort.Slice(samples, func(a, b int) bool { return samples[a].wall < samples[b].wall })
 	med := samples[len(samples)/2]
-	return med.wall, &med.stats, nil
+	return med.wall, cpu, &med.stats, nil
 }
 
 // Row is one measurement line of a report: an engine on a workload at a
@@ -126,10 +137,18 @@ type Row struct {
 	TaskSize uint64
 	// Tasks is the number of tasks executed.
 	Tasks int64
+	// Policy names the wait policy under test ("" outside the
+	// synchronization ablation, where every engine runs its default).
+	Policy string
 	// Wall is the median end-to-end time t_p.
 	Wall time.Duration
 	// PerTask is Wall·p/Tasks − an effective per-task cumulative cost.
 	PerTask time.Duration
+	// CPU is the process CPU time (user+system) consumed per run, averaged
+	// over the measured repetitions; zero when not measured. Spin-heavy
+	// policies can match on Wall while burning p× more CPU — this column is
+	// what separates them.
+	CPU time.Duration
 	// Eff is the efficiency decomposition (zero-valued when not
 	// applicable to the experiment).
 	Eff trace.Efficiency

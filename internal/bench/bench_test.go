@@ -2,6 +2,7 @@ package bench_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -272,8 +273,83 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "experiment,") {
 		t.Errorf("header = %q", lines[0])
 	}
-	if fields := strings.Split(lines[1], ","); len(fields) != 13 {
+	if fields := strings.Split(lines[1], ","); len(fields) != 15 {
 		t.Errorf("field count = %d", len(fields))
+	}
+}
+
+func TestWriteJSONTrajectorySchema(t *testing.T) {
+	rows := []bench.Row{
+		{Experiment: "sync", Workload: "readers-writer", Engine: "rio", Policy: "park",
+			Workers: 4, Tasks: 100, Wall: time.Millisecond,
+			PerTask: 40 * time.Microsecond, CPU: 3 * time.Millisecond},
+		{Experiment: "fig6", Workload: "independent", Engine: "rio",
+			Workers: 2, Tasks: 10, Wall: time.Microsecond, PerTask: 200 * time.Nanosecond},
+	}
+	var buf bytes.Buffer
+	if err := bench.WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want 2", len(got))
+	}
+	if name := got[0]["name"]; name != "sync/readers-writer/rio/park" {
+		t.Errorf("name = %v", name)
+	}
+	if ns := got[0]["ns_per_task"]; ns != float64(40000) {
+		t.Errorf("ns_per_task = %v", ns)
+	}
+	if cpu := got[0]["cpu_ns"]; cpu != float64(3_000_000) {
+		t.Errorf("cpu_ns = %v", cpu)
+	}
+	// Rows without a policy under test omit it and keep the short name.
+	if name := got[1]["name"]; name != "fig6/independent/rio" {
+		t.Errorf("name = %v", name)
+	}
+	if _, ok := got[1]["policy"]; ok {
+		t.Error("empty policy serialized")
+	}
+}
+
+// The sync ablation must produce one row per policy × workload, every row
+// carrying its policy name and (on unix) a CPU measurement.
+func TestSyncAblationRows(t *testing.T) {
+	rows, err := bench.SyncAblation(bench.SyncConfig{
+		Workers: 2, Rounds: 6, Readers: 3, TasksPerWorker: 50, Reps: 1,
+		BlockDur: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(bench.SyncPolicies)*4 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(bench.SyncPolicies)*4)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Policy == "" {
+			t.Errorf("row %s/%s without policy", r.Workload, r.Engine)
+		}
+		if r.Wall <= 0 || r.Tasks <= 0 {
+			t.Errorf("bad row %+v", r)
+		}
+		seen[r.Workload+"/"+r.Policy] = true
+	}
+	for _, w := range []string{"readers-writer", "reduce-rounds", "readers-writer+block", "independent"} {
+		for _, pol := range []string{"adaptive", "spin", "park", "sleep"} {
+			if !seen[w+"/"+pol] {
+				t.Errorf("missing row %s/%s", w, pol)
+			}
+		}
+	}
+}
+
+func TestSyncAblationRejectsBadConfig(t *testing.T) {
+	if _, err := bench.SyncAblation(bench.SyncConfig{Workers: 1, Rounds: 1, Readers: 1, TasksPerWorker: 1}); err == nil {
+		t.Error("single-worker sync ablation accepted")
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package bench
+
+import "time"
+
+// cpuTime is unavailable off unix; rows carry CPU = 0 and renderers omit
+// the column.
+func cpuTime() time.Duration { return 0 }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package bench
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the process's cumulative CPU time (user + system).
+// Deltas around a measured region give the compute actually burned, which
+// is what separates a spin policy from a parking one when their wall times
+// agree.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

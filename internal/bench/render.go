@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -10,26 +11,38 @@ import (
 )
 
 // RenderRows writes rows as an aligned text table, the format the
-// cmd/rio-bench CLI prints. Efficiency columns are shown only when at least
-// one row carries a decomposition.
+// cmd/rio-bench CLI prints. Efficiency, policy and CPU columns are shown
+// only when at least one row carries them.
 func RenderRows(w io.Writer, rows []Row) error {
-	withEff := false
+	withEff, withPolicy, withCPU := false, false, false
 	for _, r := range rows {
-		if r.Eff != (effZero) {
-			withEff = true
-			break
-		}
+		withEff = withEff || r.Eff != (effZero)
+		withPolicy = withPolicy || r.Policy != ""
+		withCPU = withCPU || r.CPU != 0
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	if withEff {
-		fmt.Fprintln(tw, "experiment\tworkload\tengine\tp\ttask-size\ttasks\twall\tper-task\te_g\te_l\te_p\te_r\te")
-	} else {
-		fmt.Fprintln(tw, "experiment\tworkload\tengine\tp\ttask-size\ttasks\twall\tper-task")
+	head := "experiment\tworkload\tengine"
+	if withPolicy {
+		head += "\tpolicy"
 	}
+	head += "\tp\ttask-size\ttasks\twall\tper-task"
+	if withCPU {
+		head += "\tcpu"
+	}
+	if withEff {
+		head += "\te_g\te_l\te_p\te_r\te"
+	}
+	fmt.Fprintln(tw, head)
 	for _, r := range rows {
-		base := fmt.Sprintf("%s\t%s\t%s\t%d\t%d\t%d\t%s\t%s",
-			r.Experiment, r.Workload, r.Engine, r.Workers, r.TaskSize, r.Tasks,
-			fmtDur(r.Wall), fmtDur(r.PerTask))
+		base := fmt.Sprintf("%s\t%s\t%s", r.Experiment, r.Workload, r.Engine)
+		if withPolicy {
+			base += "\t" + r.Policy
+		}
+		base += fmt.Sprintf("\t%d\t%d\t%d\t%s\t%s",
+			r.Workers, r.TaskSize, r.Tasks, fmtDur(r.Wall), fmtDur(r.PerTask))
+		if withCPU {
+			base += "\t" + fmtDur(r.CPU)
+		}
 		if withEff {
 			fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n", base,
 				r.Eff.Granularity, r.Eff.Locality, r.Eff.Pipelining, r.Eff.Runtime, r.Eff.Parallel)
@@ -45,19 +58,20 @@ var effZero = Row{}.Eff
 // WriteCSV emits rows as CSV for external plotting.
 func WriteCSV(w io.Writer, rows []Row) error {
 	cw := csv.NewWriter(w)
-	header := []string{"experiment", "workload", "engine", "workers", "task_size", "tasks",
-		"wall_ns", "per_task_ns", "e_g", "e_l", "e_p", "e_r", "e"}
+	header := []string{"experiment", "workload", "engine", "policy", "workers", "task_size", "tasks",
+		"wall_ns", "per_task_ns", "cpu_ns", "e_g", "e_l", "e_p", "e_r", "e"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		rec := []string{
-			r.Experiment, r.Workload, r.Engine,
+			r.Experiment, r.Workload, r.Engine, r.Policy,
 			strconv.Itoa(r.Workers),
 			strconv.FormatUint(r.TaskSize, 10),
 			strconv.FormatInt(r.Tasks, 10),
 			strconv.FormatInt(r.Wall.Nanoseconds(), 10),
 			strconv.FormatInt(r.PerTask.Nanoseconds(), 10),
+			strconv.FormatInt(r.CPU.Nanoseconds(), 10),
 			fmtF(r.Eff.Granularity), fmtF(r.Eff.Locality),
 			fmtF(r.Eff.Pipelining), fmtF(r.Eff.Runtime), fmtF(r.Eff.Parallel),
 		}
@@ -67,6 +81,49 @@ func WriteCSV(w io.Writer, rows []Row) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// jsonRow is the machine-readable perf-trajectory record: one benchmark
+// point with its headline ns/task. BENCH_*.json artifacts (CI bench-smoke)
+// are arrays of these; keeping the schema flat and additive lets trajectory
+// tooling diff files from different commits.
+type jsonRow struct {
+	// Name is the fully-qualified benchmark name
+	// (experiment/workload/engine, plus /policy when one is under test).
+	Name       string  `json:"name"`
+	Experiment string  `json:"experiment"`
+	Workload   string  `json:"workload"`
+	Engine     string  `json:"engine"`
+	Policy     string  `json:"policy,omitempty"`
+	Workers    int     `json:"workers"`
+	TaskSize   uint64  `json:"task_size"`
+	Tasks      int64   `json:"tasks"`
+	WallNs     int64   `json:"wall_ns"`
+	NsPerTask  float64 `json:"ns_per_task"`
+	CPUNs      int64   `json:"cpu_ns,omitempty"`
+}
+
+// WriteJSON emits rows as an indented JSON array of perf-trajectory
+// records (the cmd/rio-bench -json format).
+func WriteJSON(w io.Writer, rows []Row) error {
+	out := make([]jsonRow, 0, len(rows))
+	for _, r := range rows {
+		name := r.Experiment + "/" + r.Workload + "/" + r.Engine
+		if r.Policy != "" {
+			name += "/" + r.Policy
+		}
+		out = append(out, jsonRow{
+			Name: name, Experiment: r.Experiment, Workload: r.Workload,
+			Engine: r.Engine, Policy: r.Policy, Workers: r.Workers,
+			TaskSize: r.TaskSize, Tasks: r.Tasks,
+			WallNs:    r.Wall.Nanoseconds(),
+			NsPerTask: float64(r.PerTask.Nanoseconds()),
+			CPUNs:     r.CPU.Nanoseconds(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // RenderCostModel writes a cost-model validation report.

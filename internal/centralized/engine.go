@@ -32,10 +32,23 @@ type Options struct {
 	Hint stf.Mapping
 	// NoAccounting disables per-task and per-wait time-stamping.
 	NoAccounting bool
+	// WaitPolicy selects how executors wait for ready tasks (see
+	// waitTuning for how the policies map onto queue pops). The zero
+	// value, WaitAdaptive, spins for SpinLimit probes before parking on
+	// the scheduler's condition variable.
+	WaitPolicy stf.WaitPolicy
+	// SpinLimit is the number of ready-queue probes an executor makes
+	// before parking (WaitAdaptive only). 0 means DefaultSpinLimit.
+	SpinLimit int
 	// Hooks optionally installs lifecycle callbacks (see stf.Hooks). Nil
 	// costs the hot path one pointer test per site.
 	Hooks *stf.Hooks
 }
+
+// DefaultSpinLimit is the default ready-queue spin budget of executor pops
+// under WaitAdaptive, mirroring the in-order engine's dependency-wait spin
+// budget.
+const DefaultSpinLimit = 128
 
 // Engine is a centralized out-of-order STF execution engine.
 type Engine struct {
@@ -44,6 +57,7 @@ type Engine struct {
 	window   int
 	hint     stf.Mapping
 	noAcct   bool
+	wt       waitTuning
 	hooks    *stf.Hooks
 	stats    trace.Stats
 	progress atomic.Pointer[trace.ProgressTable]
@@ -57,7 +71,15 @@ func New(o Options) (*Engine, error) {
 	if o.Window < 0 {
 		return nil, fmt.Errorf("centralized: negative Window %d", o.Window)
 	}
-	return &Engine{workers: o.Workers, kind: o.Scheduler, window: o.Window, hint: o.Hint, noAcct: o.NoAccounting, hooks: o.Hooks}, nil
+	if o.WaitPolicy < stf.WaitAdaptive || o.WaitPolicy > stf.WaitSleep {
+		return nil, fmt.Errorf("centralized: unknown WaitPolicy %d", o.WaitPolicy)
+	}
+	sl := o.SpinLimit
+	if sl <= 0 {
+		sl = DefaultSpinLimit
+	}
+	wt := waitTuning{policy: o.WaitPolicy, spin: sl}
+	return &Engine{workers: o.Workers, kind: o.Scheduler, window: o.Window, hint: o.Hint, noAcct: o.NoAccounting, wt: wt, hooks: o.Hooks}, nil
 }
 
 // Name identifies the execution model in reports.
@@ -109,11 +131,11 @@ func (e *Engine) execute(ctx context.Context, numData int, rp *trace.ProgressTab
 	var sched scheduler
 	switch e.kind {
 	case WorkStealing:
-		sched = newStealScheduler(nexec)
+		sched = newStealScheduler(nexec, e.wt)
 	case Priority:
-		sched = newPrioScheduler()
+		sched = newPrioScheduler(e.wt)
 	default:
-		sched = newFIFO()
+		sched = newFIFO(e.wt)
 	}
 
 	m := &master{

@@ -3,6 +3,7 @@ package centralized
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,6 +14,9 @@ import (
 // assigns each task its level (1 + max over predecessors) during
 // dependency derivation.
 type prioScheduler struct {
+	wt       waitTuning
+	avail    atomic.Int64 // shadows heap size for lock-free spin probes
+	done     atomic.Bool  // shadows closed likewise
 	mu       sync.Mutex
 	nonEmpty *sync.Cond
 	heap     prioHeap
@@ -20,8 +24,8 @@ type prioScheduler struct {
 	closed   bool
 }
 
-func newPrioScheduler() *prioScheduler {
-	s := &prioScheduler{}
+func newPrioScheduler(wt waitTuning) *prioScheduler {
+	s := &prioScheduler{wt: wt}
 	s.nonEmpty = sync.NewCond(&s.mu)
 	return s
 }
@@ -30,28 +34,48 @@ func (s *prioScheduler) push(t *task) {
 	s.mu.Lock()
 	s.seq++
 	heap.Push(&s.heap, prioItem{t: t, seq: s.seq})
+	s.avail.Add(1)
 	s.mu.Unlock()
 	s.nonEmpty.Signal()
 }
 
-func (s *prioScheduler) pop(int) (*task, time.Duration) {
+// take pops the top task if available. done reports the scheduler closed
+// and drained; (nil, false) means empty-but-open.
+func (s *prioScheduler) take() (t *task, done bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var idle time.Duration
-	for s.heap.Len() == 0 && !s.closed {
-		t0 := time.Now()
-		s.nonEmpty.Wait()
-		idle += time.Since(t0)
-	}
 	if s.heap.Len() == 0 {
-		return nil, idle
+		return nil, s.closed
 	}
-	return heap.Pop(&s.heap).(prioItem).t, idle
+	s.avail.Add(-1)
+	return heap.Pop(&s.heap).(prioItem).t, false
+}
+
+func (s *prioScheduler) pop(int) (*task, time.Duration) {
+	var idle time.Duration
+	for {
+		if t, done := s.take(); t != nil || done {
+			return t, idle
+		}
+		hit, spun := s.wt.spinPop(func() bool { return s.avail.Load() > 0 || s.done.Load() })
+		idle += spun
+		if hit {
+			continue // re-check authoritatively under the lock
+		}
+		s.mu.Lock()
+		for s.heap.Len() == 0 && !s.closed {
+			t0 := time.Now()
+			s.nonEmpty.Wait()
+			idle += time.Since(t0)
+		}
+		s.mu.Unlock()
+	}
 }
 
 func (s *prioScheduler) close() {
 	s.mu.Lock()
 	s.closed = true
+	s.done.Store(true)
 	s.mu.Unlock()
 	s.nonEmpty.Broadcast()
 }

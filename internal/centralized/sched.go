@@ -1,9 +1,12 @@
 package centralized
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rio/internal/stf"
 )
 
 // scheduler moves ready tasks from the master to the executing workers.
@@ -14,6 +17,53 @@ type scheduler interface {
 	push(t *task)
 	pop(w int) (*task, time.Duration)
 	close()
+}
+
+// waitTuning is the centralized counterpart of the in-order engine's
+// dependency-wait escalation, applied to the executors' ready-queue pops:
+// how long a pop busy-polls the ready state before parking on the
+// scheduler's condition variable. The policies map as follows — WaitSpin
+// never parks (Gosched-poll until a task or close), WaitAdaptive spins for
+// the budget then parks (no feedback loop here: queue pops have no per-data
+// histogram to feed from), WaitPark and WaitSleep park immediately (parking
+// *is* the legacy centralized behavior; there is no sleep ladder to fall
+// back to).
+type waitTuning struct {
+	policy stf.WaitPolicy
+	spin   int
+}
+
+// budget returns the number of spin-phase probes before parking, or -1 for
+// spin-forever.
+func (wt waitTuning) budget() int {
+	switch wt.policy {
+	case stf.WaitSpin:
+		return -1
+	case stf.WaitAdaptive:
+		return wt.spin
+	}
+	return 0 // WaitPark, WaitSleep: park immediately
+}
+
+// spinPop busy-polls readyOrClosed (with Gosched between probes) for the
+// tuning's budget — or until it holds, under WaitSpin. It reports whether
+// the probe held during the spin phase and the time spent spinning.
+// readyOrClosed must be a cheap, possibly stale probe that also turns true
+// when the scheduler closes — that is what keeps a WaitSpin waiter live
+// across shutdown; the caller re-checks authoritatively under its lock.
+func (wt waitTuning) spinPop(readyOrClosed func() bool) (hit bool, idle time.Duration) {
+	n := wt.budget()
+	if n == 0 {
+		return false, 0
+	}
+	t0 := time.Now()
+	for i := 0; n < 0 || i < n; i++ {
+		if readyOrClosed() {
+			return true, time.Since(t0)
+		}
+		runtime.Gosched()
+	}
+	return false, time.Since(t0)
 }
 
 // SchedulerKind selects the dispatch strategy of the centralized engine.
@@ -46,8 +96,13 @@ func (k SchedulerKind) String() string {
 	return "unknown"
 }
 
-// fifoQueue is the single-queue scheduler.
+// fifoQueue is the single-queue scheduler. avail and done shadow the
+// mutex-guarded state with atomics so that spin-phase probes (see
+// waitTuning) need not touch the lock pushers hold.
 type fifoQueue struct {
+	wt       waitTuning
+	avail    atomic.Int64
+	done     atomic.Bool
 	mu       sync.Mutex
 	nonEmpty *sync.Cond
 	items    []*task // used as a ring-free FIFO: append at tail, pop at head
@@ -55,8 +110,8 @@ type fifoQueue struct {
 	closed   bool
 }
 
-func newFIFO() *fifoQueue {
-	q := &fifoQueue{}
+func newFIFO(wt waitTuning) *fifoQueue {
+	q := &fifoQueue{wt: wt}
 	q.nonEmpty = sync.NewCond(&q.mu)
 	return q
 }
@@ -64,35 +119,55 @@ func newFIFO() *fifoQueue {
 func (q *fifoQueue) push(t *task) {
 	q.mu.Lock()
 	q.items = append(q.items, t)
+	q.avail.Add(1)
 	q.mu.Unlock()
 	q.nonEmpty.Signal()
 }
 
-func (q *fifoQueue) pop(int) (*task, time.Duration) {
+// take dequeues one task if available. done reports the queue closed and
+// drained; (nil, false) means empty-but-open (caller spins or parks).
+func (q *fifoQueue) take() (t *task, done bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	var idle time.Duration
-	for q.head == len(q.items) && !q.closed {
-		t0 := time.Now()
-		q.nonEmpty.Wait()
-		idle += time.Since(t0)
-	}
 	if q.head == len(q.items) {
-		return nil, idle
+		return nil, q.closed
 	}
-	t := q.items[q.head]
+	t = q.items[q.head]
 	q.items[q.head] = nil
 	q.head++
+	q.avail.Add(-1)
 	if q.head == len(q.items) {
 		q.items = q.items[:0]
 		q.head = 0
 	}
-	return t, idle
+	return t, false
+}
+
+func (q *fifoQueue) pop(int) (*task, time.Duration) {
+	var idle time.Duration
+	for {
+		if t, done := q.take(); t != nil || done {
+			return t, idle
+		}
+		hit, spun := q.wt.spinPop(func() bool { return q.avail.Load() > 0 || q.done.Load() })
+		idle += spun
+		if hit {
+			continue // re-check authoritatively under the lock
+		}
+		q.mu.Lock()
+		for q.head == len(q.items) && !q.closed {
+			t0 := time.Now()
+			q.nonEmpty.Wait()
+			idle += time.Since(t0)
+		}
+		q.mu.Unlock()
+	}
 }
 
 func (q *fifoQueue) close() {
 	q.mu.Lock()
 	q.closed = true
+	q.done.Store(true)
 	q.mu.Unlock()
 	q.nonEmpty.Broadcast()
 }
@@ -103,7 +178,9 @@ func (q *fifoQueue) close() {
 // a shared condition variable with a version counter so that a push between
 // the failed scan and the wait cannot be lost.
 type stealScheduler struct {
+	wt     waitTuning
 	deques []workerDeque
+	done   atomic.Bool // shadows closed for lock-free spin probes
 
 	mu      sync.Mutex
 	wake    *sync.Cond
@@ -120,8 +197,8 @@ type workerDeque struct {
 	_     [40]byte // keep deques on separate cache lines
 }
 
-func newStealScheduler(workers int) *stealScheduler {
-	s := &stealScheduler{deques: make([]workerDeque, workers)}
+func newStealScheduler(workers int, wt waitTuning) *stealScheduler {
+	s := &stealScheduler{wt: wt, deques: make([]workerDeque, workers)}
 	s.wake = sync.NewCond(&s.mu)
 	return s
 }
@@ -179,16 +256,40 @@ func (d *workerDeque) steal() *task {
 	return t
 }
 
+// scan tries w's own deque, then every victim, without blocking.
+func (s *stealScheduler) scan(w int) *task {
+	if t := s.deques[w].popOwn(); t != nil {
+		return t
+	}
+	for i := 1; i < len(s.deques); i++ {
+		if t := s.deques[(w+i)%len(s.deques)].steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
 func (s *stealScheduler) pop(w int) (*task, time.Duration) {
 	var idle time.Duration
 	for {
-		if t := s.deques[w].popOwn(); t != nil {
+		if t := s.scan(w); t != nil {
 			return t, idle
 		}
-		for i := 1; i < len(s.deques); i++ {
-			if t := s.deques[(w+i)%len(s.deques)].steal(); t != nil {
-				return t, idle
+		// Spin phase per waitTuning: rescan (the scan itself is the ready
+		// probe here — deque locks are sharded, so probing them does not
+		// serialize the pushers) before parking.
+		if n := s.wt.budget(); n != 0 {
+			t0 := time.Now()
+			for i := 0; n < 0 || i < n; i++ {
+				runtime.Gosched()
+				if t := s.scan(w); t != nil {
+					return t, idle + time.Since(t0)
+				}
+				if s.done.Load() {
+					break
+				}
 			}
+			idle += time.Since(t0)
 		}
 		// Nothing found: park until a push or close changes the world.
 		s.mu.Lock()
@@ -209,6 +310,7 @@ func (s *stealScheduler) pop(w int) (*task, time.Duration) {
 func (s *stealScheduler) close() {
 	s.mu.Lock()
 	s.closed = true
+	s.done.Store(true)
 	s.mu.Unlock()
 	s.wake.Broadcast()
 }

@@ -50,20 +50,14 @@ func newClaimTable() *claimTable {
 }
 
 // tryClaim atomically claims task id; it returns true for exactly one
-// caller per id.
+// caller per id. A single atomic fetch-Or decides the race: the caller that
+// flipped the bit wins. Unlike a CAS loop, the Or cannot livelock-retry
+// when neighboring bits of the word are being claimed concurrently.
 func (t *claimTable) tryClaim(id int64) bool {
 	page := t.page(id)
 	word := &page.bits[(id>>6)&((1<<(claimPageBits-6))-1)]
 	bit := uint64(1) << (uint(id) & 63)
-	for {
-		old := word.Load()
-		if old&bit != 0 {
-			return false
-		}
-		if word.CompareAndSwap(old, old|bit) {
-			return true
-		}
-	}
+	return word.Or(bit)&bit == 0
 }
 
 // page returns the page holding id, allocating it (and any gap before it)

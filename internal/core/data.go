@@ -21,17 +21,25 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
+
+	"rio/internal/stf"
 )
 
-// sharedState is the shared half of a data object's synchronization state
-// (Algorithm 2). It occupies its own cache line to avoid false sharing
-// between data objects.
+// cacheLine is the coherence granularity the state layout is padded to.
+// 64 bytes on every platform this runs on (x86-64, arm64).
+const cacheLine = 64
+
+// sharedCell is the shared half of a data object's synchronization state
+// (Algorithm 2) plus the event gate parked waiters block on. It is wrapped
+// by sharedState, which pads it to an exact cache-line multiple — keep the
+// fields here and the padding arithmetic there.
 //
 // Invariant: at most one task at a time is between get_write and
 // terminate_write on a given data object (guaranteed by the protocol
 // itself), so lastExecutedWrite is only ever advanced by a single writer;
 // readers and reducers increment their counters concurrently.
-type sharedState struct {
+type sharedCell struct {
 	// lastExecutedWrite is the TaskID of the last write performed on the
 	// data (stf.NoTask before any write).
 	lastExecutedWrite atomic.Int64
@@ -40,10 +48,72 @@ type sharedState struct {
 	// nbRedsSinceWrite counts the reductions performed since the last
 	// write.
 	nbRedsSinceWrite atomic.Int64
+	// waiters counts the workers currently registered with the park gate.
+	// Terminates check it with one atomic load and skip the gate entirely
+	// when it is zero, so the uncontended release path pays nothing for
+	// the parking machinery.
+	waiters atomic.Int32
 	// redMu serializes reduction task bodies on this data (members of a
 	// reduction run commute but must not overlap).
 	redMu sync.Mutex
-	_     [24]byte // pad to a 64-byte cache line
+	// parkMu guards parkCh. It is only ever taken by already-slow waiters
+	// and by terminates that observed waiters != 0.
+	parkMu sync.Mutex
+	// parkCh is the park gate: a channel closed (and reset to nil) by the
+	// next wake, allocated lazily by the first parking waiter of an epoch.
+	// nil means nobody is parked and nobody is about to park on it.
+	parkCh chan struct{}
+}
+
+// sharedState pads sharedCell to an exact multiple of the cache line, so a
+// []sharedState never lets two data objects' protocol words share a line
+// (false sharing between unrelated readers/writers). The pad is computed,
+// not hand-counted: it stays correct when the cell grows.
+type sharedState struct {
+	sharedCell
+	_ [(cacheLine - unsafe.Sizeof(sharedCell{})%cacheLine) % cacheLine]byte
+}
+
+// parkChan returns the gate channel to park on, allocating it if this
+// waiter opens the epoch. Callers must already be registered (waiters > 0)
+// and must re-check their readiness condition *after* this call, before
+// blocking — that ordering is what makes the gate lost-wakeup-free (see
+// the proof sketch on wake).
+func (s *sharedCell) parkChan() chan struct{} {
+	s.parkMu.Lock()
+	ch := s.parkCh
+	if ch == nil {
+		ch = make(chan struct{})
+		s.parkCh = ch
+	}
+	s.parkMu.Unlock()
+	return ch
+}
+
+// wake publishes one wake to every waiter currently parked (or about to
+// park) on the gate. Terminates call it after their atomic counter stores.
+//
+// No lost wakeups: all atomics are sequentially consistent (Go memory
+// model), so for any releaser/waiter pair either (a) the releaser's
+// waiters.Load observes the waiter's registration — then the releaser takes
+// parkMu and closes the channel the waiter fetched (or the waiter fetches
+// the post-close nil→fresh channel, in which case its mandatory re-check
+// after the fetch observes the already-published counters); or (b) the
+// load observes no registration — then the waiter registered later, and its
+// re-check (which follows its registration) observes the counters published
+// before the load. Either way the waiter cannot block on a state that has
+// already been released. Spurious wakes are benign: parked waiters loop on
+// their condition.
+func (s *sharedCell) wake() {
+	if s.waiters.Load() == 0 {
+		return
+	}
+	s.parkMu.Lock()
+	if ch := s.parkCh; ch != nil {
+		close(ch)
+		s.parkCh = nil
+	}
+	s.parkMu.Unlock()
 }
 
 // localState is the private half, one per (worker, data) pair: what this
@@ -65,6 +135,47 @@ type localState struct {
 	// reduction waits only for reductions of *earlier* runs, never for
 	// members of its own run — that is what lets them commute.
 	nbRedsBeforeRun int64
+}
+
+// localArena backs every worker's localState slice with one flat
+// allocation: worker w's states live at [w*stride, w*stride+numData), a
+// contiguous run indexed directly by data ID (no pointer chasing on the
+// declare path). The stride leaves a full guard cache line between
+// neighboring workers' segments, so no two workers' local states can share
+// a line regardless of how the allocator aligned the backing array —
+// declares are private-memory writes in the coherence sense, not just the
+// ownership sense.
+type localArena struct {
+	backing []localState
+	stride  int
+	numData int
+}
+
+// localStatesPerLine is how many localState entries fit one cache line;
+// the arena's guard gap is expressed in entries. A compile-time-constant
+// relationship the white-box layout test pins.
+const localStatesPerLine = cacheLine / int(unsafe.Sizeof(localState{}))
+
+func newLocalArena(workers, numData int) *localArena {
+	stride := numData
+	if r := stride % localStatesPerLine; r != 0 {
+		stride += localStatesPerLine - r
+	}
+	stride += localStatesPerLine // full guard line between workers
+	a := &localArena{
+		backing: make([]localState, workers*stride),
+		stride:  stride,
+		numData: numData,
+	}
+	for i := range a.backing {
+		a.backing[i].lastRegisteredWrite = int64(stf.NoTask)
+	}
+	return a
+}
+
+// worker returns worker w's localState segment.
+func (a *localArena) worker(w int) []localState {
+	return a.backing[w*a.stride : w*a.stride+a.numData : w*a.stride+a.numData]
 }
 
 // declareRead implements declare_read: the worker encountered a read it
@@ -115,25 +226,31 @@ func (l *localState) redReady(s *sharedState) bool {
 }
 
 // terminateRead implements terminate_read: publish one performed read, then
-// register it locally.
+// register it locally. The wake covers waiters gated on the read count
+// (writers); when nobody is parked it is a single atomic load.
 func (l *localState) terminateRead(s *sharedState) {
 	s.nbReadsSinceWrite.Add(1)
+	s.wake()
 	l.declareRead()
 }
 
 // terminateWrite implements terminate_write(task_id). The counters are
 // reset *before* the write ID is published so that a waiter observing the
 // new write ID can never pair it with the previous epoch's counts
-// (single-writer-at-a-time is guaranteed by the protocol itself).
+// (single-writer-at-a-time is guaranteed by the protocol itself). The wake
+// follows every store, so a woken waiter's re-check sees the whole
+// publication.
 func (l *localState) terminateWrite(s *sharedState, id int64) {
 	s.nbReadsSinceWrite.Store(0)
 	s.nbRedsSinceWrite.Store(0)
 	s.lastExecutedWrite.Store(id)
+	s.wake()
 	l.declareWrite(id)
 }
 
 // terminateRed publishes one performed reduction.
 func (l *localState) terminateRed(s *sharedState) {
 	s.nbRedsSinceWrite.Add(1)
+	s.wake()
 	l.declareRed()
 }

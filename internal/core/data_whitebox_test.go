@@ -1,0 +1,109 @@
+package core
+
+// White-box guards for the cache-conscious state layout and the park gate:
+//
+//   - the padded shared cell must stay an exact cache-line multiple, or a
+//     []sharedState silently reintroduces false sharing between adjacent
+//     data objects (the pre-padding layout was 56 bytes — a comment said 64
+//     and nothing enforced it);
+//   - the local-state arena must keep a full guard line between neighboring
+//     workers' segments regardless of allocator alignment;
+//   - the event gate must not allocate until someone parks, and a wake must
+//     reach both present and about-to-park waiters.
+
+import (
+	"testing"
+	"unsafe"
+
+	"rio/internal/stf"
+)
+
+func TestSharedStateIsCacheLineMultiple(t *testing.T) {
+	size := unsafe.Sizeof(sharedState{})
+	if size%cacheLine != 0 {
+		t.Fatalf("sizeof(sharedState) = %d, not a multiple of the %d-byte cache line", size, cacheLine)
+	}
+	if size < cacheLine {
+		t.Fatalf("sizeof(sharedState) = %d < one cache line (%d)", size, cacheLine)
+	}
+	// The pad must be computed from the cell, not hand-counted: growing the
+	// cell by one word must still land on a line multiple. (Compile-time by
+	// construction; pin the current relationship so a refactor that drops
+	// the computed pad fails loudly.)
+	cell := unsafe.Sizeof(sharedCell{})
+	if want := (cell + cacheLine - 1) / cacheLine * cacheLine; size != want {
+		t.Fatalf("sizeof(sharedState) = %d, want %d (cell %d rounded up to a line)", size, want, cell)
+	}
+	// Adjacent elements of a []sharedState must start on distinct lines.
+	s := make([]sharedState, 2)
+	d := uintptr(unsafe.Pointer(&s[1])) - uintptr(unsafe.Pointer(&s[0]))
+	if d < cacheLine {
+		t.Fatalf("adjacent sharedState elements %d bytes apart, want >= %d", d, cacheLine)
+	}
+}
+
+func TestLocalArenaSeparatesWorkers(t *testing.T) {
+	if cacheLine%unsafe.Sizeof(localState{}) != 0 {
+		t.Fatalf("sizeof(localState) = %d no longer divides the cache line; the arena's guard-gap arithmetic needs revisiting", unsafe.Sizeof(localState{}))
+	}
+	for _, tc := range []struct{ workers, numData int }{
+		{1, 0}, {1, 1}, {2, 1}, {2, 2}, {3, 7}, {4, 64}, {8, 129},
+	} {
+		a := newLocalArena(tc.workers, tc.numData)
+		for w := 0; w < tc.workers; w++ {
+			seg := a.worker(w)
+			if len(seg) != tc.numData {
+				t.Fatalf("workers=%d numData=%d: worker %d segment length %d", tc.workers, tc.numData, w, len(seg))
+			}
+			for d := range seg {
+				if seg[d].lastRegisteredWrite != int64(stf.NoTask) {
+					t.Fatalf("worker %d data %d: lastRegisteredWrite = %d, want NoTask", w, d, seg[d].lastRegisteredWrite)
+				}
+			}
+		}
+		if tc.numData == 0 {
+			continue
+		}
+		// The end of worker w's segment and the start of worker w+1's must
+		// be at least one full line apart, so no line holds state of two
+		// workers no matter how the backing array is aligned.
+		for w := 0; w+1 < tc.workers; w++ {
+			lastEnd := uintptr(unsafe.Pointer(&a.worker(w)[tc.numData-1])) + unsafe.Sizeof(localState{})
+			nextStart := uintptr(unsafe.Pointer(&a.worker(w + 1)[0]))
+			if gap := nextStart - lastEnd; gap < cacheLine {
+				t.Fatalf("workers=%d numData=%d: gap between worker %d and %d segments is %d bytes, want >= %d",
+					tc.workers, tc.numData, w, w+1, gap, cacheLine)
+			}
+		}
+	}
+}
+
+func TestParkGateLazyAndWakeable(t *testing.T) {
+	var sh sharedState
+	// No waiters: wake must not allocate a gate (nor take the slow path —
+	// behaviorally: parkCh stays nil).
+	sh.wake()
+	if sh.parkCh != nil {
+		t.Fatal("wake with no waiters allocated the gate channel")
+	}
+	// A registered waiter fetches the gate; a wake closes and clears it.
+	sh.waiters.Add(1)
+	ch := sh.parkChan()
+	if ch == nil || sh.parkCh != ch {
+		t.Fatal("parkChan did not install the gate")
+	}
+	sh.wake()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("wake did not close the fetched gate channel")
+	}
+	if sh.parkCh != nil {
+		t.Fatal("wake did not reset the gate for the next epoch")
+	}
+	// The next epoch gets a fresh channel.
+	if ch2 := sh.parkChan(); ch2 == ch {
+		t.Fatal("gate channel reused across epochs")
+	}
+	sh.waiters.Add(-1)
+}

@@ -24,10 +24,27 @@ type Options struct {
 	// time and task counters are still collected. Use for overhead
 	// micro-measurements where two time.Now calls per task would matter.
 	NoAccounting bool
+	// WaitPolicy selects how dependency waits behave once the busy-poll
+	// phase has not resolved them (see stf.WaitPolicy). The zero value is
+	// WaitAdaptive: spin with a feedback-driven budget, yield, then park
+	// on the data object's event gate.
+	WaitPolicy stf.WaitPolicy
 	// SpinLimit is the number of busy-poll iterations before a waiting
-	// worker starts yielding to the Go scheduler (and eventually
-	// sleeping). 0 means DefaultSpinLimit.
+	// worker starts yielding to the Go scheduler (and eventually parking
+	// or sleeping, per WaitPolicy). 0 means DefaultSpinLimit. Under
+	// WaitAdaptive this is the starting budget; the per-worker budget
+	// then floats between the adaptive bounds.
 	SpinLimit int
+	// YieldLimit is the number of runtime.Gosched-polling iterations
+	// after the spin phase before a wait enters its policy's slow phase.
+	// 0 means DefaultYieldLimit.
+	YieldLimit int
+	// SleepInit and SleepMax bound the WaitSleep policy's exponential
+	// sleep ladder (initial and maximum sleep). Zero values mean
+	// DefaultSleepInit and DefaultSleepMax. SleepMax also seeds the
+	// parked-waiter failsafe timeout of the parking policies.
+	SleepInit time.Duration
+	SleepMax  time.Duration
 	// StallTimeout arms the stall watchdog: when no task completes for
 	// this long and the workers are provably deadlocked (all blocked in
 	// dependency waits) or stuck inside one task body, the run aborts
@@ -48,19 +65,17 @@ type Options struct {
 	Hooks *stf.Hooks
 }
 
-// DefaultSpinLimit is the busy-poll budget of dependency waits before the
-// waiter escalates to runtime.Gosched and then to short sleeps. The
-// escalation keeps the engine live even when goroutines outnumber
-// hardware threads (GOMAXPROCS oversubscription).
-const DefaultSpinLimit = 128
-
 // Engine is a decentralized in-order STF execution engine. An Engine is
 // reusable (Run may be called repeatedly) but not concurrently.
 type Engine struct {
 	workers      int
 	mapping      stf.Mapping
 	noAcct       bool
+	policy       stf.WaitPolicy
 	spinLimit    int
+	yieldLimit   int
+	sleepInit    time.Duration
+	sleepMax     time.Duration
 	stallTimeout time.Duration
 	guard        bool
 	hooks        *stf.Hooks
@@ -81,15 +96,37 @@ func New(o Options) (*Engine, error) {
 		p := o.Workers
 		m = func(id stf.TaskID) stf.WorkerID { return stf.WorkerID(id % stf.TaskID(p)) }
 	}
+	if o.WaitPolicy < stf.WaitAdaptive || o.WaitPolicy > stf.WaitSleep {
+		return nil, fmt.Errorf("core: unknown WaitPolicy %d", o.WaitPolicy)
+	}
 	sl := o.SpinLimit
 	if sl <= 0 {
 		sl = DefaultSpinLimit
+	}
+	yl := o.YieldLimit
+	if yl <= 0 {
+		yl = DefaultYieldLimit
+	}
+	si := o.SleepInit
+	if si <= 0 {
+		si = DefaultSleepInit
+	}
+	sm := o.SleepMax
+	if sm <= 0 {
+		sm = DefaultSleepMax
+	}
+	if sm < si {
+		sm = si
 	}
 	return &Engine{
 		workers:      o.Workers,
 		mapping:      m,
 		noAcct:       o.NoAccounting,
+		policy:       o.WaitPolicy,
 		spinLimit:    sl,
+		yieldLimit:   yl,
+		sleepInit:    si,
+		sleepMax:     sm,
 		stallTimeout: o.StallTimeout,
 		guard:        !o.NoGuard,
 		hooks:        o.Hooks,
@@ -150,12 +187,21 @@ func (e *Engine) run(ctx context.Context, numData int, guard bool, body func(*su
 	if numData < 0 {
 		return errors.New("core: negative numData")
 	}
+	// Seed the adaptive spin budgets from the previous run's wait
+	// histogram (if any) before the new progress table replaces it.
+	seed := e.spinLimit
+	if e.policy == stf.WaitAdaptive {
+		if prev := e.progress.Load(); prev != nil {
+			p := prev.Snapshot()
+			seed = adaptiveSeed(p.WaitHist(), e.spinLimit)
+		}
+	}
 	rp := trace.NewProgressTable(e.workers)
 	e.progress.Store(rp)
 	if h := e.hooks; h != nil && h.OnRunStart != nil {
 		h.OnRunStart(e.workers, numData)
 	}
-	err := e.execute(ctx, numData, guard, rp, body)
+	err := e.execute(ctx, numData, guard, rp, seed, body)
 	rp.Finish()
 	if h := e.hooks; h != nil && h.OnRunEnd != nil {
 		h.OnRunEnd(err)
@@ -165,14 +211,26 @@ func (e *Engine) run(ctx context.Context, numData int, guard bool, body func(*su
 
 // execute is run's engine room, split out so run can bracket it with the
 // progress table's lifecycle and the OnRunStart/OnRunEnd hooks.
-func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace.ProgressTable, body func(*submitter)) error {
+func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace.ProgressTable, spinSeed int, body func(*submitter)) error {
 	shared := make([]sharedState, numData)
 	for i := range shared {
 		shared[i].lastExecutedWrite.Store(int64(stf.NoTask))
 	}
+	// One flat arena backs every worker's local protocol state: segments
+	// indexed directly by data ID, separated by guard cache lines (see
+	// localArena).
+	arena := newLocalArena(e.workers, numData)
 
 	claims := newClaimTable()
 	abort := &abortState{}
+	// An abort must reach waiters parked on data event gates, not only
+	// polling ones: raise wakes every gate (set before any worker can
+	// raise, so never racing a raise).
+	abort.onRaise = func() {
+		for i := range shared {
+			shared[i].wake()
+		}
+	}
 	var health []workerHealth
 	if e.stallTimeout > 0 {
 		health = make([]workerHealth, e.workers)
@@ -180,23 +238,21 @@ func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace
 	subs := make([]*submitter, e.workers)
 	for w := range subs {
 		subs[w] = &submitter{
-			eng:    e,
-			worker: stf.WorkerID(w),
-			shared: shared,
-			local:  make([]localState, numData),
-			claims: claims,
-			abort:  abort,
-			prog:   rp.Worker(w),
-			hooks:  e.hooks,
+			eng:        e,
+			worker:     stf.WorkerID(w),
+			shared:     shared,
+			local:      arena.worker(w),
+			claims:     claims,
+			abort:      abort,
+			prog:       rp.Worker(w),
+			hooks:      e.hooks,
+			spinBudget: spinSeed,
 		}
 		if health != nil {
 			subs[w].health = &health[w]
 		}
 		if guard {
 			subs[w].guard = &guardState{}
-		}
-		for d := range subs[w].local {
-			subs[w].local[d].lastRegisteredWrite = int64(stf.NoTask)
 		}
 	}
 
@@ -321,6 +377,13 @@ type submitter struct {
 	hooks  *stf.Hooks          // nil when no lifecycle hooks are installed
 	ws     trace.WorkerStats
 	err    error
+	// spinBudget is the busy-poll budget of the next dependency wait under
+	// WaitAdaptive (ignored by the other policies): seeded from the
+	// previous run's wait histogram, then fed back per completed wait.
+	spinBudget int
+	// parkTimer is the reusable failsafe timer of parked waits, allocated
+	// by the first park.
+	parkTimer *time.Timer
 }
 
 // errAborted marks workers stopped because the run aborted on another
@@ -516,9 +579,9 @@ func (s *submitter) getWrite(id stf.TaskID, a stf.Access) {
 	sh := &s.shared[a.Data]
 	lo := &s.local[a.Data]
 	if !lo.writeReady(sh) {
-		s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-		s.wait(id, a, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
-		s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
+		s.wait(id, a, sh, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+		s.wait(id, a, sh, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
+		s.wait(id, a, sh, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
 	}
 }
 
@@ -528,9 +591,9 @@ func (s *submitter) getRed(id stf.TaskID, a stf.Access) {
 	sh := &s.shared[a.Data]
 	lo := &s.local[a.Data]
 	if !lo.redReady(sh) {
-		s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-		s.wait(id, a, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
-		s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() >= lo.nbRedsBeforeRun })
+		s.wait(id, a, sh, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+		s.wait(id, a, sh, func() bool { return sh.nbReadsSinceWrite.Load() == lo.nbReadsSinceWrite })
+		s.wait(id, a, sh, func() bool { return sh.nbRedsSinceWrite.Load() >= lo.nbRedsBeforeRun })
 	}
 }
 
@@ -539,8 +602,8 @@ func (s *submitter) getRead(id stf.TaskID, a stf.Access) {
 	sh := &s.shared[a.Data]
 	lo := &s.local[a.Data]
 	if !lo.readReady(sh) {
-		s.wait(id, a, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
-		s.wait(id, a, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
+		s.wait(id, a, sh, func() bool { return sh.lastExecutedWrite.Load() == lo.lastRegisteredWrite })
+		s.wait(id, a, sh, func() bool { return sh.nbRedsSinceWrite.Load() == lo.nbRedsSinceWrite })
 	}
 }
 

@@ -94,16 +94,19 @@ func TestGuardFoldPackingHeadroom(t *testing.T) {
 // publish/sleep phase (audited: `spin` is a local of wait(), so the budget
 // resets — this test fails if it is ever hoisted into worker state).
 func TestWaitSpinBudgetIsPerWait(t *testing.T) {
-	e, err := New(Options{Workers: 1, SpinLimit: 1000, StallTimeout: time.Minute})
+	// WaitSleep pins the busy budget to the engine's SpinLimit (under
+	// WaitAdaptive the per-worker budget floats by design).
+	e, err := New(Options{Workers: 1, SpinLimit: 1000, StallTimeout: time.Minute, WaitPolicy: stf.WaitSleep})
 	if err != nil {
 		t.Fatal(err)
 	}
 	h := &workerHealth{}
+	sh := &sharedState{}
 	s := &submitter{eng: e, abort: &abortState{}, health: h, prog: &trace.ProgressCell{}}
 	const waits = 50
 	for i := 0; i < waits; i++ {
 		polls := 0
-		s.wait(3, stf.R(0), func() bool {
+		s.wait(3, stf.R(0), sh, func() bool {
 			polls++
 			// Resolve well inside one wait's busy budget, but so that the
 			// cumulative polls across waits far exceed SpinLimit: a budget
@@ -117,7 +120,7 @@ func TestWaitSpinBudgetIsPerWait(t *testing.T) {
 	// Control: a single wait exceeding the budget must escalate and then
 	// return the worker to the replay phase.
 	polls := 0
-	s.wait(4, stf.W(0), func() bool {
+	s.wait(4, stf.W(0), sh, func() bool {
 		polls++
 		return polls > 1000+1024+3 // past busy and yield phases
 	})

@@ -39,6 +39,11 @@ type abortState struct {
 	// cancellation, watchdog) and must therefore be reported separately.
 	cause    error
 	external bool
+	// onRaise, when set, runs after the flag is raised — the engine wires
+	// it to wake every data event gate so parked waiters observe the
+	// abort promptly. Set once before any worker starts (never concurrent
+	// with raise); must be idempotent, as every raise invokes it.
+	onRaise func()
 }
 
 // raised reports whether the run is aborting.
@@ -54,6 +59,9 @@ func (a *abortState) raise(err error, external bool) {
 	}
 	a.mu.Unlock()
 	a.flag.Store(true)
+	if a.onRaise != nil {
+		a.onRaise()
+	}
 }
 
 // state returns the recorded cause.

@@ -7,25 +7,66 @@ import (
 	"rio/internal/stf"
 )
 
+// Wait tuning defaults (Options.SpinLimit / YieldLimit / SleepInit /
+// SleepMax). The escalation keeps the engine live even when goroutines
+// outnumber hardware threads (GOMAXPROCS oversubscription).
+const (
+	// DefaultSpinLimit is the busy-poll budget of dependency waits before
+	// the waiter escalates to runtime.Gosched and then to its policy's
+	// slow phase.
+	DefaultSpinLimit = 128
+	// DefaultYieldLimit is the number of Gosched-polling iterations after
+	// the spin phase before the slow phase (sleep or park).
+	DefaultYieldLimit = 1024
+	// DefaultSleepInit and DefaultSleepMax bound the WaitSleep ladder's
+	// exponential sleeps.
+	DefaultSleepInit = time.Microsecond
+	DefaultSleepMax  = 100 * time.Microsecond
+)
+
+// Adaptive spin-budget bounds (WaitAdaptive). The budget moves by powers of
+// two between these bounds, fed back from each completed wait: a wait the
+// busy-poll phase caught grows it, a wait that had to escalate shrinks it.
+const (
+	minSpinBudget = 16
+	maxSpinBudget = 4096
+)
+
+// parkBackstopMax caps the failsafe timeout of a parked waiter. Wakes are
+// event-driven (terminates and the abort latch publish them), so the
+// backstop exists only to bound the damage of a missed-wake bug; it starts
+// at the engine's SleepMax and doubles up to this cap.
+const parkBackstopMax = 10 * time.Millisecond
+
 // wait blocks until cond() holds, accounting the elapsed time as idle time
 // (τ_{p,i}) when accounting is enabled. id and a identify the acquiring
 // task and the unsatisfied data access, published for the stall watchdog
-// once the wait turns slow.
+// once the wait turns slow; sh is the data object's shared cell, whose
+// event gate the slow phase parks on.
 //
 // The wait escalates in three phases, trading latency for CPU use:
 //
-//  1. busy-poll for SpinLimit iterations — a dependency produced by a
-//     worker running on another core typically resolves within nanoseconds;
-//  2. poll with runtime.Gosched() — lets the producing goroutine run when
-//     goroutines are multiplexed on fewer hardware threads;
-//  3. poll with exponentially growing sleeps capped at maxSleep — bounds
-//     CPU waste on long waits without risking livelock. On entry to this
-//     phase the worker publishes what it is stuck on (watchdog armed
-//     runs only), and each iteration polls the run-abort flag so that a
-//     dependency held by a failed worker cannot block forever.
+//  1. busy-poll for the spin budget — a dependency produced by a worker
+//     running on another core typically resolves within nanoseconds. Under
+//     WaitAdaptive the budget is per-worker and fed back from completed
+//     waits; otherwise it is the engine's SpinLimit.
+//  2. poll with runtime.Gosched() for YieldLimit iterations — lets the
+//     producing goroutine run when goroutines are multiplexed on fewer
+//     hardware threads. WaitPark skips this phase; WaitSpin stays in it
+//     forever.
+//  3. the policy's slow phase. On entry the worker publishes what it is
+//     stuck on (watchdog armed runs only), and the phase polls the
+//     run-abort flag so that a dependency held by a failed worker cannot
+//     block forever. WaitAdaptive and WaitPark park on sh's event gate
+//     (woken by the terminate that publishes the dependency, or by the
+//     abort latch's wake-all); WaitSleep polls with exponentially growing
+//     sleeps capped at SleepMax.
+//
+// Every phase keeps the wait's obligations: one OnWaitEnd per OnWaitStart,
+// stall-watchdog publication, abort responsiveness, idle-time accounting.
 //
 // cond must read shared state with atomic loads; it is called repeatedly.
-func (s *submitter) wait(id stf.TaskID, a stf.Access, cond func() bool) {
+func (s *submitter) wait(id stf.TaskID, a stf.Access, sh *sharedState, cond func() bool) {
 	if cond() {
 		return
 	}
@@ -36,17 +77,26 @@ func (s *submitter) wait(id stf.TaskID, a stf.Access, cond func() bool) {
 	if !s.eng.noAcct {
 		t0 = time.Now()
 	}
+
+	policy := s.eng.policy
+	spinCap := s.eng.spinLimit
+	if policy == stf.WaitAdaptive {
+		spinCap = s.spinBudget
+	}
+	yieldCap := spinCap + s.eng.yieldLimit
+	if policy == stf.WaitPark {
+		yieldCap = spinCap // park right after the spin phase
+	}
+
 	spin := 0
 	published := false
-	const yieldPhase = 1024
-	const maxSleep = 100 * time.Microsecond
-	sleep := time.Microsecond
+	sleep := s.eng.sleepInit
 	for !cond() {
 		spin++
 		switch {
-		case spin < s.eng.spinLimit:
+		case spin < spinCap:
 			// busy poll
-		case spin < s.eng.spinLimit+yieldPhase:
+		case spin < yieldCap:
 			runtime.Gosched()
 		default:
 			if !published && s.health != nil {
@@ -67,9 +117,18 @@ func (s *submitter) wait(id stf.TaskID, a stf.Access, cond func() bool) {
 				s.fail(errAborted)
 				break
 			}
-			time.Sleep(sleep)
-			if sleep < maxSleep {
-				sleep *= 2
+			switch policy {
+			case stf.WaitSleep:
+				time.Sleep(sleep)
+				if sleep < s.eng.sleepMax {
+					sleep *= 2
+				}
+			case stf.WaitSpin:
+				runtime.Gosched()
+			default: // WaitAdaptive, WaitPark
+				if !s.park(sh, cond) {
+					s.fail(errAborted)
+				}
 			}
 		}
 		if s.err != nil {
@@ -79,12 +138,70 @@ func (s *submitter) wait(id stf.TaskID, a stf.Access, cond func() bool) {
 	if published {
 		s.health.setReplay()
 	}
+	var waited time.Duration
 	if !s.eng.noAcct {
-		waited := time.Since(t0)
+		waited = time.Since(t0)
 		s.ws.Idle += waited
 		s.prog.AddWait(waited)
 	}
+	if policy == stf.WaitAdaptive {
+		// Feed the outcome back into the worker's spin budget by which
+		// escalation phase resolved the wait. Only a wait the busy-poll
+		// phase itself caught justifies more spinning; a wait that resolved
+		// after yielding (or parking) means the producer needed the core —
+		// on dedicated cores growing would not have changed the latency,
+		// and oversubscribed it would have delayed the producer — so the
+		// budget shrinks. Duration is deliberately not the signal: at
+		// GOMAXPROCS=1 every hand-off is "fast" by the histogram yet every
+		// busy-polled iteration is pure critical-path delay.
+		if spin < spinCap {
+			s.spinBudget = min(s.spinBudget*2, maxSpinBudget)
+		} else {
+			s.spinBudget = max(s.spinBudget/2, minSpinBudget)
+		}
+	}
 	if h := s.hooks; h != nil && h.OnWaitEnd != nil {
 		h.OnWaitEnd(s.worker, id, a)
+	}
+}
+
+// park blocks on sh's event gate until cond holds. It returns false (without
+// recording an error) if the run aborted instead. The gate protocol is
+// lost-wakeup-free: register with the waiter counter first, fetch the gate
+// channel, then re-check cond and the abort latch before blocking — any
+// release or abort published before the fetch is visible to the re-check,
+// and any published after it observes the registration and closes the
+// fetched channel (see sharedCell.wake).
+func (s *submitter) park(sh *sharedState, cond func() bool) bool {
+	sh.waiters.Add(1)
+	defer sh.waiters.Add(-1)
+	backstop := s.eng.sleepMax
+	for {
+		ch := sh.parkChan()
+		if cond() {
+			return true
+		}
+		if s.abort.raised() {
+			return false
+		}
+		t := s.parkTimer
+		if t == nil {
+			t = time.NewTimer(backstop)
+			s.parkTimer = t
+		} else {
+			t.Reset(backstop)
+		}
+		select {
+		case <-ch:
+		case <-t.C:
+			// Failsafe only: terminates wake the gate and the abort latch
+			// wakes all gates, so an expiry means either a spurious near
+			// miss or a missed-wake bug. Back off so a pathological case
+			// degrades to slow polling instead of a busy timer loop.
+			if backstop < parkBackstopMax {
+				backstop *= 2
+			}
+		}
+		t.Stop()
 	}
 }

@@ -227,6 +227,45 @@ func Chain(n int) *stf.Graph {
 	return g
 }
 
+// ReadersWriter returns the high-contention synchronization microbenchmark
+// (the `rio-bench sync` ablation): rounds of one writer followed by readers
+// parallel reads, all on a single data object. Every reader of a round
+// blocks on the round's write and every write blocks on the previous
+// round's reads, so the whole flow is dependency hand-offs through one
+// shared cell — the worst case for the wait path, with no computation to
+// hide it. With a cyclic mapping the readers land on distinct workers.
+func ReadersWriter(rounds, readers int) *stf.Graph {
+	g := stf.NewGraph("readers-writer", 1)
+	id := 0
+	for r := 0; r < rounds; r++ {
+		g.Add(KCounter, id, 0, 0, stf.RW(0))
+		id++
+		for j := 0; j < readers; j++ {
+			g.Add(KCounter, id, 0, 0, stf.R(0))
+			id++
+		}
+	}
+	return g
+}
+
+// ReduceRounds returns the reduction variant of ReadersWriter: rounds of
+// one writer followed by reducers commutative reductions on one data
+// object. Every reduction's terminate_red publishes on the same shared
+// cell, exercising the reduction wake path under contention.
+func ReduceRounds(rounds, reducers int) *stf.Graph {
+	g := stf.NewGraph("reduce-rounds", 1)
+	id := 0
+	for r := 0; r < rounds; r++ {
+		g.Add(KCounter, id, 0, 0, stf.RW(0))
+		id++
+		for j := 0; j < reducers; j++ {
+			g.Add(KCounter, id, 0, 0, stf.Red(0))
+			id++
+		}
+	}
+	return g
+}
+
 // TreeReduce returns a binary combining tree over leaves inputs: leaf i
 // writes data i; each combine node reads its two children's data and
 // writes its own. Depth is ⌈log2(leaves)⌉+1 with parallelism halving per

@@ -79,6 +79,71 @@ func spin(cond func() bool, abort func() bool) {
 	}
 }
 
+// A loop that parks on a channel receive (the event-gate pattern) without
+// referencing the abort state must be flagged: a missed wake or a failed
+// producer would park it forever.
+func TestWaitCancelFlagsUncheckedParkLoop(t *testing.T) {
+	src := `package core
+
+func park(cond func() bool, gate func() chan struct{}) {
+	for !cond() {
+		<-gate()
+	}
+}
+`
+	diags := lintSource(t, "core/badpark.go", src)
+	if !hasAnalyzer(diags, "waitcancel") {
+		t.Fatalf("want a waitcancel diagnostic for a park loop, got %v", diags)
+	}
+}
+
+// The engine's actual parking shape — register, select on the gate and a
+// backstop timer, re-check the abort latch — must pass.
+func TestWaitCancelAcceptsAbortCheckedParkLoop(t *testing.T) {
+	src := `package core
+
+import "time"
+
+func park(cond func() bool, gate func() chan struct{}, aborted func() bool) bool {
+	for !cond() {
+		ch := gate()
+		if aborted() {
+			return false
+		}
+		t := time.NewTimer(time.Millisecond)
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	return true
+}
+`
+	if diags := lintSource(t, "core/goodpark.go", src); hasAnalyzer(diags, "waitcancel") {
+		t.Fatalf("clean park loop flagged: %v", diags)
+	}
+}
+
+// Cond.Wait parking loops are in scope too: without a closed/abort check in
+// the loop they would never observe shutdown.
+func TestWaitCancelFlagsUncheckedCondWaitLoop(t *testing.T) {
+	src := `package centralized
+
+import "sync"
+
+func drain(c *sync.Cond, empty func() bool) {
+	for empty() {
+		c.Wait()
+	}
+}
+`
+	diags := lintSource(t, "centralized/badcond.go", src)
+	if !hasAnalyzer(diags, "waitcancel") {
+		t.Fatalf("want a waitcancel diagnostic for a cond-wait loop, got %v", diags)
+	}
+}
+
 func TestWaitCancelIgnoresOtherPackages(t *testing.T) {
 	src := `package faultinject
 

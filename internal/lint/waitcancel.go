@@ -2,21 +2,25 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
 // WaitCancel enforces the engines' liveness invariant from PR 1's run
-// hardening: any poll loop — a for loop that sleeps or yields while
-// re-checking shared state — must also poll the run-abort/cancellation
-// state. A dependency produced by a worker that panicked, stalled or was
-// canceled never resolves; a poll loop that does not check for the abort
-// flag turns that failure into a hang instead of an error.
+// hardening: any poll or park loop — a for loop that sleeps, yields, or
+// blocks while re-checking shared state — must also poll the
+// run-abort/cancellation state. A dependency produced by a worker that
+// panicked, stalled or was canceled never resolves; a waiting loop that
+// does not check for the abort flag turns that failure into a hang instead
+// of an error.
 //
 // The check is syntactic: a for statement whose body calls time.Sleep or
-// runtime.Gosched must, somewhere in the same statement, reference the
+// runtime.Gosched, blocks on a channel receive (bare or inside a select —
+// the event-gate parking loops), or calls a method named "Wait" (sync.Cond
+// parking) must, somewhere in the same statement, reference the
 // cancellation state — an identifier or selector whose name contains
-// "abort", "cancel" or "done", equals "ctx" or "err", or a call to a
-// method named "raised".
+// "abort", "cancel", "done" or "close", equals "ctx" or "err", or a call
+// to a method named "raised".
 var WaitCancel = &Analyzer{
 	Name:     "waitcancel",
 	Doc:      "poll loops in the engines must check the run-abort/cancellation state",
@@ -36,7 +40,7 @@ func runWaitCancel(p *Package) []Diagnostic {
 				diags = append(diags, Diagnostic{
 					Analyzer: "waitcancel",
 					Pos:      p.Fset.Position(loop.Pos()),
-					Message: "poll loop sleeps or yields without checking the run-abort/cancellation state; " +
+					Message: "poll/park loop sleeps, yields or blocks without checking the run-abort/cancellation state; " +
 						"a dependency held by a failed worker would block it forever",
 				})
 			}
@@ -46,27 +50,38 @@ func runWaitCancel(p *Package) []Diagnostic {
 	return diags
 }
 
-// loopPolls reports whether the loop body sleeps or yields — the
-// signature of a dependency poll loop.
+// loopPolls reports whether the loop body sleeps, yields, or blocks — the
+// signature of a dependency poll or park loop. Blocking forms covered: a
+// bare channel receive (including receives inside a select's comm clauses)
+// and method calls named "Wait" (sync.Cond parking; sync.WaitGroup joins in
+// a loop are the same hazard).
 func loopPolls(loop *ast.ForStmt) bool {
 	found := false
 	ast.Inspect(loop.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if (pkg.Name == "time" && sel.Sel.Name == "Sleep") ||
-			(pkg.Name == "runtime" && sel.Sel.Name == "Gosched") {
-			found = true
-			return false
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW { // <-ch: a parking receive
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Wait" { // cond.Wait(), wg.Wait()
+				found = true
+				return false
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if (pkg.Name == "time" && sel.Sel.Name == "Sleep") ||
+				(pkg.Name == "runtime" && sel.Sel.Name == "Gosched") {
+				found = true
+				return false
+			}
 		}
 		return true
 	})
@@ -82,7 +97,7 @@ func checksAbort(loop *ast.ForStmt) bool {
 		case name == "ctx" || name == "err" || name == "raised":
 			found = true
 		case strings.Contains(lower, "abort"), strings.Contains(lower, "cancel"),
-			strings.Contains(lower, "done"):
+			strings.Contains(lower, "done"), strings.Contains(lower, "close"):
 			found = true
 		}
 	}

@@ -84,6 +84,10 @@ type (
 	Progress = trace.Progress
 	// WorkerProgress is one worker's slice of a Progress snapshot.
 	WorkerProgress = trace.WorkerProgress
+	// WaitPolicy selects how waits behave once busy-polling has not
+	// resolved them (Options.WaitPolicy): see WaitAdaptive, WaitSpin,
+	// WaitPark, WaitSleep.
+	WaitPolicy = stf.WaitPolicy
 
 	// StallError is the stall watchdog's structured diagnosis: no task
 	// completed for Options.StallTimeout and the error names which
@@ -157,6 +161,26 @@ const (
 	Reduction = stf.Reduction
 )
 
+// Wait policies (Options.WaitPolicy). They apply to the in-order engine's
+// dependency waits and to the centralized engine's ready-queue pops; the
+// sequential engine never waits.
+const (
+	// WaitAdaptive (the default) busy-polls with a feedback-driven spin
+	// budget, yields, then parks on an event gate until the dependency is
+	// published. The all-round choice.
+	WaitAdaptive = stf.WaitAdaptive
+	// WaitSpin never blocks: lowest wake-up latency, burns a hardware
+	// thread per waiter. For workers pinned 1:1 to otherwise idle cores.
+	WaitSpin = stf.WaitSpin
+	// WaitPark parks right after the spin budget: lowest CPU use, one
+	// wake per dependency hand-off. For heavy contention or
+	// oversubscription.
+	WaitPark = stf.WaitPark
+	// WaitSleep is the legacy spin → yield → exponential-sleep ladder,
+	// kept for comparison (`rio-bench sync`).
+	WaitSleep = stf.WaitSleep
+)
+
 // Read declares a read-only access to d.
 func Read(d DataID) Access { return stf.R(d) }
 
@@ -220,9 +244,24 @@ type Options struct {
 	// Window bounds in-flight tasks in the centralized engine (0 =
 	// unbounded).
 	Window int
-	// SpinLimit is the in-order engine's busy-poll budget before a
-	// dependency wait starts yielding (0 = default).
+	// WaitPolicy selects how the engines wait — the in-order engine for
+	// unresolved dependencies, the centralized engine for ready tasks —
+	// once busy-polling has not resolved the wait: WaitAdaptive (the
+	// default), WaitSpin, WaitPark or WaitSleep. The sequential engine
+	// ignores it. See the README's "Tuning" section for guidance.
+	WaitPolicy WaitPolicy
+	// SpinLimit is the busy-poll budget before a wait escalates per
+	// WaitPolicy (0 = default). Under WaitAdaptive it seeds the in-order
+	// engine's per-worker adaptive budget.
 	SpinLimit int
+	// YieldLimit is the number of runtime.Gosched-polling iterations
+	// between the spin phase and the policy's slow phase (0 = default).
+	// SleepInit and SleepMax bound the WaitSleep ladder's exponential
+	// sleeps; SleepMax also seeds a parked waiter's failsafe timeout.
+	// All three apply to the in-order engine only.
+	YieldLimit int
+	SleepInit  time.Duration
+	SleepMax   time.Duration
 	// NoAccounting disables fine-grained time-stamping (wall time and
 	// task counts remain available).
 	NoAccounting bool
@@ -342,7 +381,11 @@ func coreOptions(o Options) core.Options {
 		Workers:      o.Workers,
 		Mapping:      o.Mapping,
 		NoAccounting: o.NoAccounting,
+		WaitPolicy:   o.WaitPolicy,
 		SpinLimit:    o.SpinLimit,
+		YieldLimit:   o.YieldLimit,
+		SleepInit:    o.SleepInit,
+		SleepMax:     o.SleepMax,
 		StallTimeout: o.StallTimeout,
 		NoGuard:      o.NoGuard,
 		Hooks:        o.Hooks,
@@ -367,6 +410,8 @@ func newEngine(o Options) (Runtime, error) {
 			Window:       o.Window,
 			Hint:         o.Mapping,
 			NoAccounting: o.NoAccounting,
+			WaitPolicy:   o.WaitPolicy,
+			SpinLimit:    o.SpinLimit,
 			Hooks:        o.Hooks,
 		})
 	case Sequential:
