@@ -507,3 +507,50 @@ func BenchmarkHookOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRetryOverhead bounds the hot-path tax of the fault-tolerance
+// machinery. "nil-policy" is what every pre-existing caller pays after
+// this feature landed: one pointer test per task (it must stay
+// indistinguishable from the historical per-task overhead — the CI
+// perf-regression gate holds it to the baseline). "retry-armed" installs
+// a policy plus snapshotter on a fault-free run, pricing the always-taken
+// snapshot/bookkeeping path; "checkpoint" prices completed-task tracking
+// alone. Independent empty-body tasks with NoAccounting make per-task
+// engine overhead the entire signal.
+func BenchmarkRetryOverhead(b *testing.B) {
+	g := graphs.Independent(32768)
+	noop := func(*stf.Task, stf.WorkerID) {}
+	m := rio.CyclicMapping(benchWorkers)
+	// Empty-body tasks write nothing, so the armed policy needs no real
+	// snapshot storage; the Snapshotter still prices the capability test.
+	snaps := rio.SnapshotFuncs{Save: func(rio.DataID) func() { return func() {} }}
+	for _, v := range []struct {
+		name string
+		opts rio.Options
+	}{
+		{"nil-policy", rio.Options{}},
+		{"checkpoint", rio.Options{Checkpoint: true}},
+		{"retry-armed", rio.Options{Retry: &rio.RetryPolicy{MaxAttempts: 3}, Snapshots: snaps}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			opts := v.opts
+			opts.Model = rio.InOrder
+			opts.Workers = benchWorkers
+			opts.Mapping = m
+			opts.NoAccounting = true
+			rt, err := rio.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog := rio.Replay(g, noop)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Run(g.NumData, prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(g.Tasks)), "ns/task")
+		})
+	}
+}

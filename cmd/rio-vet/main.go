@@ -45,9 +45,12 @@ func run(args []string, out io.Writer) (reject bool, err error) {
 	graphFile := fs.String("graph", "", "vet a task flow from a JSON file (as written by rio-graph) instead of a named workload")
 	workers := fs.Int("workers", 4, "worker count the flow will run with")
 	mapSpec := fs.String("mapping", "cyclic", "static mapping: cyclic | block | blockcyclic:B | single:W | owner2d")
-	passSpec := fs.String("passes", "all", "comma-separated passes: access,mapping,determinism,spec (or all)")
+	passSpec := fs.String("passes", "all", "comma-separated passes: access,mapping,determinism,spec,retry (or all)")
 	replays := fs.Int("replays", analyze.DefaultReplays, "record-mode replays of the determinism lint")
 	specTasks := fs.Int("spec-tasks", analyze.DefaultSpecTaskLimit, "task-count bound of the spec-conformance pass")
+	retry := fs.Bool("retry", false, "vet the flow as running under a retry policy (arms the retry pass)")
+	snapshottable := fs.Bool("snapshottable", false, "assume every data object is snapshottable (default: none, matching a run without rio.Options.Snapshots)")
+	writeSetLimit := fs.Int("retry-write-set", analyze.DefaultRetryWriteSetLimit, "per-task snapshotted-object count above which the retry pass warns")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	failOn := fs.String("fail-on", "warning", "lowest severity that makes the exit status 1: info | warning | error")
 	minShow := fs.String("show", "info", "lowest severity printed in the human report")
@@ -101,12 +104,17 @@ func run(args []string, out io.Writer) (reject bool, err error) {
 		return false, err
 	}
 	cfg := analyze.Config{
-		Passes:        passes,
-		Workers:       *workers,
-		Mapping:       mapping,
-		InOrder:       true,
-		Replays:       *replays,
-		SpecTaskLimit: *specTasks,
+		Passes:             passes,
+		Workers:            *workers,
+		Mapping:            mapping,
+		InOrder:            true,
+		Replays:            *replays,
+		SpecTaskLimit:      *specTasks,
+		Retry:              *retry,
+		RetryWriteSetLimit: *writeSetLimit,
+	}
+	if *snapshottable {
+		cfg.Snapshottable = func(stf.DataID) bool { return true }
 	}
 	report, _ := analyze.Program(numData, prog, cfg)
 
@@ -135,9 +143,11 @@ func parsePasses(s string) (analyze.Passes, error) {
 			p |= analyze.PassDeterminism
 		case "spec":
 			p |= analyze.PassSpec
+		case "retry":
+			p |= analyze.PassRetry
 		case "":
 		default:
-			return 0, fmt.Errorf("unknown pass %q (want access|mapping|determinism|spec|all)", name)
+			return 0, fmt.Errorf("unknown pass %q (want access|mapping|determinism|spec|retry|all)", name)
 		}
 	}
 	if p == 0 {

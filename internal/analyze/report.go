@@ -131,6 +131,17 @@ const (
 	CodeSpecSkipped Code = "RIO-S002"
 )
 
+// Fault-tolerance finding codes (RIO-Rxxx).
+const (
+	// CodeRetryUnprotected: retry is enabled but a task writes data that
+	// is neither idempotent nor snapshottable, so the runtime cannot roll
+	// it back and will give the task exactly one attempt.
+	CodeRetryUnprotected Code = "RIO-R001"
+	// CodeRetryWriteSet: a task's per-attempt snapshot covers more data
+	// objects than the configured limit; rollback cost may dominate.
+	CodeRetryWriteSet Code = "RIO-R002"
+)
+
 // NoID marks the Task/Data/Worker fields of findings that are not tied to
 // a specific task, data object or worker.
 const NoID = -1

@@ -1,0 +1,64 @@
+package analyze
+
+import (
+	"fmt"
+
+	"rio/internal/stf"
+)
+
+// retryPass lints a flow that will run under a retry policy (fault
+// tolerance): a task can only be re-executed safely when every data
+// object it writes (or reduces into) can be rolled back first — either
+// the access is declared Idempotent, or the configured Snapshotter can
+// capture the object. The pass mirrors the runtime rule exactly (see
+// stf.SnapshotWriteSet): a task with any unprotected written access gets
+// one attempt at run time, silently losing its retries — which is almost
+// certainly not what a caller who configured a retry policy wants, so it
+// is an Error here.
+//
+//   - CodeRetryUnprotected (error): a task writes a data object that is
+//     neither Idempotent nor snapshottable; the runtime will not retry
+//     this task.
+//   - CodeRetryWriteSet (warning): a task's snapshotted write-set exceeds
+//     Config.RetryWriteSetLimit objects; every failed attempt copies and
+//     restores all of them, so retry cost (and snapshot memory) may
+//     dominate.
+func retryPass(rep *Report, g *stf.Graph, cfg Config) {
+	limit := cfg.retryWriteSetLimit()
+	for i := range g.Tasks {
+		t := &g.Tasks[i]
+		snapshotted := 0
+		reported := false
+		for _, a := range t.Accesses {
+			if !a.Mode.Writes() && !a.Mode.Commutes() {
+				continue
+			}
+			if a.Idempotent {
+				continue
+			}
+			if cfg.Snapshottable == nil || !cfg.Snapshottable(a.Data) {
+				if !reported {
+					reported = true
+					rep.add(Finding{
+						Code: CodeRetryUnprotected, Severity: Error,
+						Task: t.ID, Data: a.Data, Worker: NoID,
+						Message: fmt.Sprintf(
+							"retry is enabled but data %d (written by task %d) is neither idempotent nor snapshottable; the task would get exactly one attempt",
+							a.Data, t.ID),
+					})
+				}
+				continue
+			}
+			snapshotted++
+		}
+		if !reported && snapshotted > limit {
+			rep.add(Finding{
+				Code: CodeRetryWriteSet, Severity: Warning,
+				Task: t.ID, Data: NoID, Worker: NoID,
+				Message: fmt.Sprintf(
+					"task %d snapshots %d data objects per attempt (limit %d); rollback cost may dominate — consider splitting the task or declaring idempotent writes",
+					t.ID, snapshotted, limit),
+			})
+		}
+	}
+}

@@ -43,6 +43,20 @@ type Options struct {
 	// Hooks optionally installs lifecycle callbacks (see stf.Hooks). Nil
 	// costs the hot path one pointer test per site.
 	Hooks *stf.Hooks
+	// Retry installs transient-fault retry of task bodies with write-set
+	// rollback (see stf.RetryPolicy); nil disables retry. Note that with
+	// retry enabled a terminal task failure stops the run (so the
+	// completed set stays dependency-closed), whereas the legacy nil-retry
+	// behavior records the panic and keeps executing independent tasks.
+	Retry *stf.RetryPolicy
+	// Snapshots captures and restores data objects for retry rollback.
+	Snapshots stf.Snapshotter
+	// Resume skips the completed tasks of a previous run's checkpoint.
+	Resume *stf.Checkpoint
+	// Checkpoint enables completed-task tracking even without a retry
+	// policy; failed runs then return a stf.PartialError. Retry != nil
+	// implies it.
+	Checkpoint bool
 }
 
 // DefaultSpinLimit is the default ready-queue spin budget of executor pops
@@ -52,15 +66,19 @@ const DefaultSpinLimit = 128
 
 // Engine is a centralized out-of-order STF execution engine.
 type Engine struct {
-	workers  int // total threads, master included
-	kind     SchedulerKind
-	window   int
-	hint     stf.Mapping
-	noAcct   bool
-	wt       waitTuning
-	hooks    *stf.Hooks
-	stats    trace.Stats
-	progress atomic.Pointer[trace.ProgressTable]
+	workers    int // total threads, master included
+	kind       SchedulerKind
+	window     int
+	hint       stf.Mapping
+	noAcct     bool
+	wt         waitTuning
+	hooks      *stf.Hooks
+	retry      *stf.RetryPolicy
+	snaps      stf.Snapshotter
+	resume     *stf.Checkpoint
+	checkpoint bool
+	stats      trace.Stats
+	progress   atomic.Pointer[trace.ProgressTable]
 }
 
 // New returns a centralized engine for the given options.
@@ -79,7 +97,12 @@ func New(o Options) (*Engine, error) {
 		sl = DefaultSpinLimit
 	}
 	wt := waitTuning{policy: o.WaitPolicy, spin: sl}
-	return &Engine{workers: o.Workers, kind: o.Scheduler, window: o.Window, hint: o.Hint, noAcct: o.NoAccounting, wt: wt, hooks: o.Hooks}, nil
+	return &Engine{
+		workers: o.Workers, kind: o.Scheduler, window: o.Window, hint: o.Hint,
+		noAcct: o.NoAccounting, wt: wt, hooks: o.Hooks,
+		retry: o.Retry, snaps: o.Snapshots, resume: o.Resume,
+		checkpoint: o.Checkpoint || o.Retry != nil,
+	}, nil
 }
 
 // Name identifies the execution model in reports.
@@ -162,6 +185,7 @@ func (e *Engine) execute(ctx context.Context, numData int, rp *trace.ProgressTab
 		task, idle time.Duration
 		wall       time.Duration
 		executed   int64
+		retried    int64
 	}
 	stats := make([]execStats, nexec)
 
@@ -195,14 +219,28 @@ func (e *Engine) execute(ctx context.Context, numData int, rp *trace.ProgressTab
 					break
 				}
 				cell.SetCurrent(t.id)
-				execTask(m, t, stf.WorkerID(w), e.noAcct, &stats[w].task)
+				outcome := execTask(m, t, stf.WorkerID(w), e.noAcct, &stats[w].task, &stats[w].retried, cell)
 				cell.SetCurrent(stf.NoTask)
+				if outcome == taskFailed {
+					// Terminal failure under a retry policy: successors are
+					// NOT released (the completed set stays dependency-
+					// closed) and the run stops dispatching. This executor
+					// unwinds; the others drain their in-flight bodies and
+					// stop at the canceled flag.
+					m.onFailed(t)
+					break
+				}
+				if outcome == taskDropped {
+					// The run aborted mid-backoff; the task neither
+					// completed nor failed terminally.
+					break
+				}
 				stats[w].executed++
 				cell.StoreExecuted(stats[w].executed)
-				// Completion is propagated even after a panic so the
-				// master's drain and the successors' counts terminate;
-				// the recorded error fails the run.
-				m.onComplete(t)
+				// Without a retry policy, completion is propagated even
+				// after a panic so the master's drain and the successors'
+				// counts terminate; the recorded error fails the run.
+				m.onComplete(t, outcome == taskDone)
 			}
 			stats[w].wall = time.Since(t0)
 		}(w)
@@ -226,6 +264,7 @@ func (e *Engine) execute(ctx context.Context, numData int, rp *trace.ProgressTab
 			mw.Runtime = r
 		}
 	}
+	mw.Skipped = m.skipped
 	st.Workers[0] = mw
 	for w := 0; w < nexec; w++ {
 		ws := trace.WorkerStats{
@@ -233,6 +272,7 @@ func (e *Engine) execute(ctx context.Context, numData int, rp *trace.ProgressTab
 			Idle:     stats[w].idle,
 			Wall:     stats[w].wall,
 			Executed: stats[w].executed,
+			Retried:  stats[w].retried,
 		}
 		if !e.noAcct {
 			if r := ws.Wall - ws.Task - ws.Idle; r > 0 {
@@ -242,12 +282,16 @@ func (e *Engine) execute(ctx context.Context, numData int, rp *trace.ProgressTab
 		st.Workers[w+1] = ws
 	}
 	e.stats = st
-	if m.err != nil {
-		return m.err
+	err := m.err
+	if err == nil {
+		m.mu.Lock()
+		err = errors.Join(m.cancelErr, m.asyncErr)
+		m.mu.Unlock()
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return errors.Join(m.cancelErr, m.asyncErr)
+	if err != nil && e.checkpoint {
+		return &stf.PartialError{Cause: err, Result: m.partialResult()}
+	}
+	return err
 }
 
 // Stats returns the time decomposition of the last Run.
@@ -292,7 +336,16 @@ type master struct {
 	submitted int64
 	completed int64
 
-	idle time.Duration // master time blocked on window or final drain
+	// failed flags a terminal task failure under a retry policy (guarded
+	// by mu): dispatch and drain stop, keeping the completed set
+	// dependency-closed. doneIDs and failedIDs (also mu-guarded) feed the
+	// PartialResult when checkpointing is on.
+	failed    bool
+	doneIDs   []stf.TaskID
+	failedIDs []stf.TaskID
+
+	idle    time.Duration // master time blocked on window or final drain
+	skipped int64         // resume-skipped tasks (master-only)
 }
 
 // cancel aborts the run: the master's window wait and drain are woken and
@@ -350,9 +403,18 @@ func (m *master) dispatch(t *task, accesses []stf.Access) {
 	if m.err != nil {
 		return
 	}
+	if m.eng.resume != nil && m.eng.resume.Contains(t.id) {
+		// The task completed in a previous run; its effects are already in
+		// data memory, so no dependency state is registered on its behalf —
+		// successors see it as never having existed, which is exactly an
+		// already-satisfied dependency.
+		m.skipped++
+		m.prog.StoreSkipped(m.skipped)
+		return
+	}
 	m.mu.Lock()
 	if m.eng.window > 0 {
-		for m.inflight >= m.eng.window && m.cancelErr == nil {
+		for m.inflight >= m.eng.window && m.cancelErr == nil && !m.failed {
 			t0 := time.Now()
 			m.progress.Wait()
 			waited := time.Since(t0)
@@ -369,10 +431,22 @@ func (m *master) dispatch(t *task, accesses []stf.Access) {
 		m.mu.Unlock()
 		return
 	}
+	if m.failed {
+		// A task failed terminally; submission stops but m.err stays nil —
+		// the failure surfaces through asyncErr (every later dispatch
+		// re-checks under the lock, which is fine: the run is over).
+		m.mu.Unlock()
+		return
+	}
 	m.inflight++
 	m.submitted++
 	m.prog.StoreDeclared(m.submitted)
 	m.mu.Unlock()
+
+	if m.eng.retry != nil {
+		// The attempt loop snapshots the write-set from the access list.
+		t.accs = accesses
+	}
 
 	for _, a := range accesses {
 		if a.Mode.Commutes() {
@@ -390,8 +464,11 @@ func (m *master) dispatch(t *task, accesses []stf.Access) {
 }
 
 // onComplete is called by an executor after running t: release successors
-// and update completion accounting.
-func (m *master) onComplete(t *task) {
+// and update completion accounting. bodyDone reports whether the body
+// actually finished (false after a nil-retry panic, where completion is
+// still propagated for the legacy run-continues semantics, but the task
+// must not enter the checkpoint frontier).
+func (m *master) onComplete(t *task, bodyDone bool) {
 	for _, s := range t.complete() {
 		if s.pending.Add(-1) == 0 {
 			m.sched.push(s)
@@ -400,25 +477,131 @@ func (m *master) onComplete(t *task) {
 	m.mu.Lock()
 	m.inflight--
 	m.completed++
+	if bodyDone && m.eng.checkpoint {
+		m.doneIDs = append(m.doneIDs, t.id)
+	}
 	m.mu.Unlock()
 	m.progress.Broadcast()
 }
 
-// execTask runs one task body under its reduction locks, converting a
-// panic into a recorded run error (the unlocks are deferred so a panicking
-// body cannot wedge the per-data mutexes). The task hooks bracket the body
-// here so that a panicking body skips OnTaskEnd, matching the in-order
-// engine's contract.
-func execTask(m *master, t *task, w stf.WorkerID, noAcct bool, taskTime *time.Duration) {
-	defer func() {
-		if r := recover(); r != nil {
-			m.recordError(fmt.Errorf("centralized: task %d panicked: %v", t.id, r))
-		}
-	}()
+// onFailed is called by an executor after t failed terminally under a
+// retry policy: successors stay blocked (never released), the run stops
+// dispatching and popping, and in-flight bodies on other executors drain.
+func (m *master) onFailed(t *task) {
+	m.mu.Lock()
+	m.inflight--
+	m.failed = true
+	if m.eng.checkpoint {
+		m.failedIDs = append(m.failedIDs, t.id)
+	}
+	m.mu.Unlock()
+	m.canceled.Store(true)
+	// Parked executors are woken by sched.close() once the master's drain
+	// observes the failure — same shutdown path as cancellation.
+	m.progress.Broadcast()
+}
+
+// partialResult assembles the frontier of a failed checkpointing run. The
+// completed set is dependency-closed: a task only ever entered the ready
+// queue after every predecessor completed, and failed tasks never release
+// successors.
+func (m *master) partialResult() *stf.PartialResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pr := &stf.PartialResult{Tasks: int(m.next)}
+	if r := m.eng.resume; r != nil {
+		pr.Completed = append(pr.Completed, r.Completed...)
+	}
+	pr.Completed = append(pr.Completed, m.doneIDs...)
+	pr.Failed = append(pr.Failed, m.failedIDs...)
+	stf.SortTaskIDs(pr.Completed)
+	stf.SortTaskIDs(pr.Failed)
+	return pr
+}
+
+// Outcomes of execTask.
+const (
+	// taskDone: the body completed; effects are published.
+	taskDone = iota
+	// taskPanicked: the body panicked without a retry policy; the error is
+	// recorded and the legacy run-continues semantics apply (completion is
+	// still propagated so independent tasks keep executing).
+	taskPanicked
+	// taskFailed: terminal failure under a retry policy (retries
+	// exhausted, permanent failure, or unsnapshottable write-set); the
+	// write-set was rolled back where a snapshot existed.
+	taskFailed
+	// taskDropped: the run aborted during a retry backoff; the task
+	// neither completed nor failed terminally.
+	taskDropped
+)
+
+// execTask runs one task body under its reduction locks and reports its
+// outcome. Without a retry policy a panic is converted into a recorded run
+// error (the unlocks are deferred so a panicking body cannot wedge the
+// per-data mutexes). With one, failed attempts roll back the task's
+// write-set (captured after the reduction locks are held, so the data is
+// quiescent) and re-execute with deterministic backoff; a terminal failure
+// is recorded as a *stf.TaskFailure. The task hooks bracket the body here
+// so that a failing body skips OnTaskEnd, matching the in-order engine's
+// contract.
+func execTask(m *master, t *task, w stf.WorkerID, noAcct bool, taskTime *time.Duration, retried *int64, cell *trace.ProgressCell) int {
 	for _, d := range t.reds {
 		m.redMu[d].Lock()
 		defer m.redMu[d].Unlock()
 	}
+	h := m.eng.hooks
+	p := m.eng.retry
+	if p == nil {
+		return execOnce(m, t, w, noAcct, taskTime)
+	}
+
+	restore, can := stf.SnapshotWriteSet(m.eng.snaps, t.accs)
+	maxAttempts := p.MaxAttempts
+	if maxAttempts < 1 || !can {
+		maxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		if h != nil && h.OnTaskStart != nil && attempt == 1 {
+			h.OnTaskStart(w, t.id)
+		}
+		cause, ok := tryTask(t, w, noAcct, taskTime)
+		if ok {
+			if h != nil && h.OnTaskEnd != nil {
+				h.OnTaskEnd(w, t.id)
+			}
+			return taskDone
+		}
+		if restore != nil {
+			// Roll back even when terminal: a checkpointed resume
+			// re-executes this task over its pre-attempt data.
+			restore()
+		}
+		if attempt >= maxAttempts || !p.Transient(cause) || m.canceled.Load() {
+			m.recordError(&stf.TaskFailure{Task: t.id, Attempts: attempt, Cause: cause})
+			return taskFailed
+		}
+		*retried++
+		cell.StoreRetried(*retried)
+		if h != nil && h.OnTaskRetry != nil {
+			h.OnTaskRetry(w, t.id, attempt, cause)
+		}
+		if !m.backoff(p.Delay(attempt + 1)) {
+			return taskDropped
+		}
+	}
+}
+
+// execOnce is the legacy nil-policy path of execTask: one attempt, panic
+// recovered into a recorded run error.
+func execOnce(m *master, t *task, w stf.WorkerID, noAcct bool, taskTime *time.Duration) (outcome int) {
+	outcome = taskDone
+	defer func() {
+		if r := recover(); r != nil {
+			m.recordError(fmt.Errorf("centralized: task %d panicked: %v", t.id, r))
+			outcome = taskPanicked
+		}
+	}()
 	h := m.eng.hooks
 	if h != nil && h.OnTaskStart != nil {
 		h.OnTaskStart(w, t.id)
@@ -433,6 +616,46 @@ func execTask(m *master, t *task, w stf.WorkerID, noAcct bool, taskTime *time.Du
 	if h != nil && h.OnTaskEnd != nil {
 		h.OnTaskEnd(w, t.id)
 	}
+	return outcome
+}
+
+// tryTask runs the body once, converting a panic into a returned cause.
+func tryTask(t *task, w stf.WorkerID, noAcct bool, taskTime *time.Duration) (cause any, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			cause = r
+			ok = false
+		}
+	}()
+	if noAcct {
+		t.run(w)
+	} else {
+		tt := time.Now()
+		t.run(w)
+		*taskTime += time.Since(tt)
+	}
+	return nil, true
+}
+
+// backoffSlice bounds each individual sleep of a retry backoff so a
+// canceled run cuts the wait short.
+const backoffSlice = 10 * time.Millisecond
+
+// backoff sleeps d in short slices, polling the canceled flag. Returns
+// false when the run aborted mid-wait.
+func (m *master) backoff(d time.Duration) bool {
+	for d > 0 {
+		if m.canceled.Load() {
+			return false
+		}
+		step := d
+		if step > backoffSlice {
+			step = backoffSlice
+		}
+		time.Sleep(step)
+		d -= step
+	}
+	return !m.canceled.Load()
 }
 
 // recordError stores the first asynchronous (worker-side) error.
@@ -457,11 +680,12 @@ func insertSorted(s []stf.DataID, d stf.DataID) []stf.DataID {
 }
 
 // drain blocks until every submitted task has completed, or the run is
-// canceled (executors then drop the still-queued tasks).
+// canceled or a task failed terminally (executors then drop the
+// still-queued tasks).
 func (m *master) drain() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for m.completed < m.submitted && m.cancelErr == nil {
+	for m.completed < m.submitted && m.cancelErr == nil && !m.failed {
 		t0 := time.Now()
 		m.progress.Wait()
 		waited := time.Since(t0)

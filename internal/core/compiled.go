@@ -38,7 +38,12 @@ func (e *Engine) RunCompiledContext(ctx context.Context, cp *stf.CompiledProgram
 	if cp.Workers != e.workers {
 		return fmt.Errorf("core: program compiled for %d workers run on an engine with %d", cp.Workers, e.workers)
 	}
-	return e.run(ctx, cp.NumData, false, func(s *submitter) {
+	if e.resume != nil {
+		// Checkpoint resume is literal §3.5-style stream pruning: the
+		// completed tasks' micro-ops are dropped from every stream.
+		cp = stf.PruneCompleted(cp, e.resume)
+	}
+	return e.run(ctx, cp.NumData, false, len(cp.Tasks), func(s *submitter) {
 		s.runStream(cp, k)
 	})
 }
@@ -81,6 +86,9 @@ func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
 				return
 			}
 			s.execCompiled(&cp.Tasks[in.Task], k)
+			if s.err != nil {
+				return // task failed terminally (retries exhausted)
+			}
 		case stf.OpTermRead:
 			s.local[in.Data].terminateRead(&s.shared[in.Data])
 		case stf.OpTermWrite:
@@ -96,9 +104,14 @@ func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
 	}
 	// Declared counts are known at compile time; charge them only on a
 	// completed stream (an aborted run reports what actually happened:
-	// Executed is counted live, Declared is unavailable).
+	// Executed is counted live, Declared is unavailable). Resume-pruned
+	// owned tasks are charged the same way.
 	s.ws.Declared = cp.Stats[s.worker].Declared
 	s.prog.StoreDeclared(s.ws.Declared)
+	if sk := cp.Stats[s.worker].Skipped; sk > 0 {
+		s.ws.Skipped = sk
+		s.prog.StoreSkipped(sk)
+	}
 }
 
 // execCompiled runs one task body of a compiled stream between its
@@ -107,7 +120,10 @@ func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
 // The reduction mutexes are therefore released before the terminates
 // publish the counters, which is safe: the mutex only serializes bodies
 // of commuting reductions, while waiters are gated by the counters, which
-// advance only after the body has completed either way.
+// advance only after the body has completed either way. Under a retry
+// policy a terminal task failure sets s.err and the stream walk stops
+// before the task's terminates — completion stays unpublished, exactly as
+// a closure-path failure leaves release() uncalled.
 func (s *submitter) execCompiled(t *stf.Task, k stf.Kernel) {
 	if s.lockReductions(t.Accesses) {
 		defer s.unlockReductions(t.Accesses)
@@ -120,7 +136,12 @@ func (s *submitter) execCompiled(t *stf.Task, k stf.Kernel) {
 	if h := s.hooks; h != nil && h.OnTaskStart != nil {
 		h.OnTaskStart(s.worker, t.ID)
 	}
-	if s.eng.noAcct {
+	if s.retry != nil {
+		if !s.runAttempts(t.Accesses, int64(t.ID), func() { k(t, s.worker) }) {
+			s.prog.SetCurrent(stf.NoTask)
+			return
+		}
+	} else if s.eng.noAcct {
 		k(t, s.worker)
 	} else {
 		t0 := time.Now()
@@ -133,4 +154,7 @@ func (s *submitter) execCompiled(t *stf.Task, k stf.Kernel) {
 	s.prog.SetCurrent(stf.NoTask)
 	s.ws.Executed++
 	s.prog.StoreExecuted(s.ws.Executed)
+	if s.track {
+		s.done = append(s.done, t.ID)
+	}
 }

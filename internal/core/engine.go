@@ -63,6 +63,23 @@ type Options struct {
 	// Hooks optionally installs lifecycle callbacks (see stf.Hooks). Nil
 	// costs the hot path one pointer test per site.
 	Hooks *stf.Hooks
+	// Retry installs transient-fault retry of task bodies (see
+	// stf.RetryPolicy): failed attempts roll back their write-set via
+	// Snapshots and re-execute with deterministic backoff. Nil (the
+	// default) disables retry at the cost of one pointer test per task.
+	Retry *stf.RetryPolicy
+	// Snapshots captures and restores data objects for retry rollback. A
+	// task writing data the Snapshotter cannot capture (or nil Snapshots)
+	// is not retried unless its write accesses are flagged Idempotent.
+	Snapshots stf.Snapshotter
+	// Resume skips the completed tasks of a previous run's checkpoint:
+	// their effects are already in data memory, so the run converges to
+	// the same final state as an uninterrupted one.
+	Resume *stf.Checkpoint
+	// Checkpoint enables completed-task tracking even without a retry
+	// policy, so a failed run's error carries a stf.PartialResult (and
+	// therefore a resumable stf.Checkpoint). Retry != nil implies it.
+	Checkpoint bool
 }
 
 // Engine is a decentralized in-order STF execution engine. An Engine is
@@ -79,6 +96,10 @@ type Engine struct {
 	stallTimeout time.Duration
 	guard        bool
 	hooks        *stf.Hooks
+	retry        *stf.RetryPolicy
+	snaps        stf.Snapshotter
+	resume       *stf.Checkpoint
+	checkpoint   bool
 	stats        trace.Stats
 	progress     atomic.Pointer[trace.ProgressTable]
 }
@@ -130,6 +151,10 @@ func New(o Options) (*Engine, error) {
 		stallTimeout: o.StallTimeout,
 		guard:        !o.NoGuard,
 		hooks:        o.Hooks,
+		retry:        o.Retry,
+		snaps:        o.Snapshots,
+		resume:       o.Resume,
+		checkpoint:   o.Checkpoint || o.Retry != nil,
 	}, nil
 }
 
@@ -171,7 +196,7 @@ func (e *Engine) Run(numData int, prog stf.Program) error {
 // case the run is abandoned with a StallError after the threshold (the
 // wedged worker goroutine is leaked and the engine must not be reused).
 func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) error {
-	return e.run(ctx, numData, e.guard, func(s *submitter) { prog(s) })
+	return e.run(ctx, numData, e.guard, -1, func(s *submitter) { prog(s) })
 }
 
 // run is the scaffolding shared by the closure-replay and compiled-replay
@@ -180,7 +205,10 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 // (cancellation, stall watchdog) and assemble the error verdict. guard
 // enables the replay-divergence guard; the compiled path passes false
 // because all its streams derive from one graph and cannot diverge.
-func (e *Engine) run(ctx context.Context, numData int, guard bool, body func(*submitter)) error {
+// flowLen is the known task-flow length (compiled replay), or -1 to derive
+// it from the workers' replay positions (closure replay) — used only for
+// the PartialResult of a failed fault-tolerant run.
+func (e *Engine) run(ctx context.Context, numData int, guard bool, flowLen int, body func(*submitter)) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("core: run not started: %w", context.Cause(ctx))
 	}
@@ -201,7 +229,7 @@ func (e *Engine) run(ctx context.Context, numData int, guard bool, body func(*su
 	if h := e.hooks; h != nil && h.OnRunStart != nil {
 		h.OnRunStart(e.workers, numData)
 	}
-	err := e.execute(ctx, numData, guard, rp, seed, body)
+	err := e.execute(ctx, numData, guard, rp, seed, flowLen, body)
 	rp.Finish()
 	if h := e.hooks; h != nil && h.OnRunEnd != nil {
 		h.OnRunEnd(err)
@@ -211,7 +239,7 @@ func (e *Engine) run(ctx context.Context, numData int, guard bool, body func(*su
 
 // execute is run's engine room, split out so run can bracket it with the
 // progress table's lifecycle and the OnRunStart/OnRunEnd hooks.
-func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace.ProgressTable, spinSeed int, body func(*submitter)) error {
+func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace.ProgressTable, spinSeed int, flowLen int, body func(*submitter)) error {
 	shared := make([]sharedState, numData)
 	for i := range shared {
 		shared[i].lastExecutedWrite.Store(int64(stf.NoTask))
@@ -246,6 +274,10 @@ func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace
 			abort:      abort,
 			prog:       rp.Worker(w),
 			hooks:      e.hooks,
+			retry:      e.retry,
+			snaps:      e.snaps,
+			resume:     e.resume,
+			track:      e.checkpoint,
 			spinBudget: spinSeed,
 		}
 		if health != nil {
@@ -355,7 +387,58 @@ func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace
 			errs = append(errs, fmt.Errorf("core: %w", err))
 		}
 	}
-	return errors.Join(errs...)
+	err := errors.Join(errs...)
+	if err != nil && e.checkpoint {
+		return &stf.PartialError{Cause: err, Result: e.partialResult(subs, flowLen)}
+	}
+	return err
+}
+
+// partialResult assembles the dependency-closed frontier of a failed
+// fault-tolerant run from the workers' completed-task logs. A task is
+// completed when its body finished (its effects are published in data
+// memory); the set is dependency-closed because a body only ever started
+// after its get_* waits observed every predecessor's completion. Tasks
+// skipped by a Resume checkpoint are carried over: they stay completed.
+func (e *Engine) partialResult(subs []*submitter, flowLen int) *stf.PartialResult {
+	var completed, failed []stf.TaskID
+	if e.resume != nil {
+		completed = append(completed, e.resume.Completed...)
+	}
+	maxNext := stf.TaskID(0)
+	for _, s := range subs {
+		completed = append(completed, s.done...)
+		if s.next > maxNext {
+			maxNext = s.next
+		}
+		var tf *stf.TaskFailure
+		if errors.As(s.err, &tf) {
+			failed = append(failed, tf.Task)
+		}
+	}
+	stf.SortTaskIDs(completed)
+	stf.SortTaskIDs(failed)
+	pr := &stf.PartialResult{
+		Tasks:     int(maxNext),
+		Completed: dedupeTaskIDs(completed),
+		Failed:    dedupeTaskIDs(failed),
+	}
+	if flowLen >= 0 {
+		pr.Tasks = flowLen
+	}
+	return pr
+}
+
+// dedupeTaskIDs compacts a sorted ID slice in place (each worker replays
+// the whole flow, so resume-carried IDs repeat across workers).
+func dedupeTaskIDs(ids []stf.TaskID) []stf.TaskID {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Stats returns the time decomposition of the last Run.
@@ -375,6 +458,11 @@ type submitter struct {
 	guard  *guardState         // nil when the divergence guard is disabled
 	prog   *trace.ProgressCell // always-on published counters (Progress)
 	hooks  *stf.Hooks          // nil when no lifecycle hooks are installed
+	retry  *stf.RetryPolicy    // nil disables task retry
+	snaps  stf.Snapshotter     // write-set capture for retry rollback
+	resume *stf.Checkpoint     // completed tasks of a previous run to skip
+	track  bool                // log completed tasks for checkpoints
+	done   []stf.TaskID        // tasks this worker completed (track only)
 	ws     trace.WorkerStats
 	err    error
 	// spinBudget is the busy-poll budget of the next dependency wait under
@@ -461,6 +549,10 @@ func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
 		return
 	}
 	id := t.ID
+	if s.resume != nil && s.resume.Contains(id) {
+		s.skipCompleted(id)
+		return
+	}
 	s.next = id + 1
 	if s.guard != nil {
 		s.guard.fold(id, t.Accesses)
@@ -474,9 +566,13 @@ func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
 		if s.err != nil {
 			return // aborted while waiting
 		}
-		s.execLocked(t.Accesses, int64(id), func() { k(t, s.worker) })
-		s.ws.Executed++
-		s.prog.StoreExecuted(s.ws.Executed)
+		if s.execLocked(t.Accesses, int64(id), func() { k(t, s.worker) }) {
+			s.ws.Executed++
+			s.prog.StoreExecuted(s.ws.Executed)
+			if s.track {
+				s.done = append(s.done, id)
+			}
+		}
 	} else {
 		s.declare(t.Accesses, int64(id))
 		s.ws.Declared++
@@ -484,11 +580,28 @@ func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
 	}
 }
 
+// skipCompleted advances past a task a Resume checkpoint marks completed:
+// its effects are already in data memory, so no synchronization state may
+// be touched on its behalf — every worker skips the same set, keeping the
+// replays aligned (the §3.5 pruning argument). The guard does not fold
+// skipped tasks (consistently, on every worker), and Skipped is charged to
+// the task's owner so run totals line up with compiled-replay resume.
+func (s *submitter) skipCompleted(id stf.TaskID) {
+	s.next = id + 1
+	if o := s.eng.mapping(id); o == s.worker || (o == stf.SharedWorker && s.worker == 0) {
+		s.ws.Skipped++
+		s.prog.StoreSkipped(s.ws.Skipped)
+	}
+}
+
 // execLocked runs a task body between its reduction locks and publishes
-// completion. The unlock is deferred so a panicking body cannot leave the
-// per-data mutexes held; completion is *not* published on panic — the run
-// is aborting and waiters bail out via the abort flag instead.
-func (s *submitter) execLocked(accesses []stf.Access, id int64, run func()) {
+// completion, reporting whether the task completed. The unlock is deferred
+// so a panicking body cannot leave the per-data mutexes held; completion
+// is *not* published on a failure — without a retry policy the panic
+// propagates to the worker recover and the run aborts; with one, the
+// attempt loop (runAttempts) rolls the write-set back and either retries
+// or fails the task gracefully, returning false.
+func (s *submitter) execLocked(accesses []stf.Access, id int64, run func()) bool {
 	if s.lockReductions(accesses) {
 		defer s.unlockReductions(accesses)
 	}
@@ -500,7 +613,12 @@ func (s *submitter) execLocked(accesses []stf.Access, id int64, run func()) {
 	if h := s.hooks; h != nil && h.OnTaskStart != nil {
 		h.OnTaskStart(s.worker, stf.TaskID(id))
 	}
-	if s.eng.noAcct {
+	if s.retry != nil {
+		if !s.runAttempts(accesses, id, run) {
+			s.prog.SetCurrent(stf.NoTask)
+			return false
+		}
+	} else if s.eng.noAcct {
 		run()
 	} else {
 		t0 := time.Now()
@@ -512,6 +630,7 @@ func (s *submitter) execLocked(accesses []stf.Access, id int64, run func()) {
 	}
 	s.prog.SetCurrent(stf.NoTask)
 	s.release(accesses, id)
+	return true
 }
 
 func (s *submitter) submit(id stf.TaskID, accesses []stf.Access, run func()) {
@@ -520,6 +639,10 @@ func (s *submitter) submit(id stf.TaskID, accesses []stf.Access, run func()) {
 	}
 	if s.abort.raised() {
 		s.fail(errAborted)
+		return
+	}
+	if s.resume != nil && s.resume.Contains(id) {
+		s.skipCompleted(id)
 		return
 	}
 	s.next = id + 1
@@ -535,9 +658,13 @@ func (s *submitter) submit(id stf.TaskID, accesses []stf.Access, run func()) {
 		if s.err != nil {
 			return // aborted while waiting
 		}
-		s.execLocked(accesses, int64(id), run)
-		s.ws.Executed++
-		s.prog.StoreExecuted(s.ws.Executed)
+		if s.execLocked(accesses, int64(id), run) {
+			s.ws.Executed++
+			s.prog.StoreExecuted(s.ws.Executed)
+			if s.track {
+				s.done = append(s.done, id)
+			}
+		}
 	} else {
 		s.declare(accesses, int64(id))
 		s.ws.Declared++

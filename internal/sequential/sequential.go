@@ -20,10 +20,14 @@ import (
 // Engine executes STF programs sequentially. The zero value is not usable;
 // use New.
 type Engine struct {
-	noAcct   bool
-	hooks    *stf.Hooks
-	stats    trace.Stats
-	progress atomic.Pointer[trace.ProgressTable]
+	noAcct     bool
+	hooks      *stf.Hooks
+	retry      *stf.RetryPolicy
+	snaps      stf.Snapshotter
+	resume     *stf.Checkpoint
+	checkpoint bool
+	stats      trace.Stats
+	progress   atomic.Pointer[trace.ProgressTable]
 }
 
 // Options configures a sequential engine.
@@ -33,10 +37,29 @@ type Options struct {
 	// Hooks optionally installs lifecycle callbacks (see stf.Hooks). The
 	// sequential engine never waits, so the wait hooks never fire.
 	Hooks *stf.Hooks
+	// Retry installs transient-fault retry of task bodies with write-set
+	// rollback (see stf.RetryPolicy); nil disables retry. A terminal task
+	// failure stops the run with a *stf.TaskFailure (instead of the
+	// legacy bare panic message).
+	Retry *stf.RetryPolicy
+	// Snapshots captures and restores data objects for retry rollback.
+	Snapshots stf.Snapshotter
+	// Resume skips the completed tasks of a previous run's checkpoint.
+	Resume *stf.Checkpoint
+	// Checkpoint enables completed-task tracking even without a retry
+	// policy; failed runs then return a stf.PartialError. Retry != nil
+	// implies it.
+	Checkpoint bool
 }
 
 // New returns a sequential engine.
-func New(o Options) *Engine { return &Engine{noAcct: o.NoAccounting, hooks: o.Hooks} }
+func New(o Options) *Engine {
+	return &Engine{
+		noAcct: o.NoAccounting, hooks: o.Hooks,
+		retry: o.Retry, snaps: o.Snapshots, resume: o.Resume,
+		checkpoint: o.Checkpoint || o.Retry != nil,
+	}
+}
 
 // Name identifies the execution model in reports.
 func (e *Engine) Name() string { return "sequential" }
@@ -65,7 +88,10 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 	if h := e.hooks; h != nil && h.OnRunStart != nil {
 		h.OnRunStart(1, numData)
 	}
-	s := &submitter{noAcct: e.noAcct, hooks: e.hooks, prog: rp.Worker(0)}
+	s := &submitter{
+		noAcct: e.noAcct, hooks: e.hooks, prog: rp.Worker(0),
+		retry: e.retry, snaps: e.snaps, resume: e.resume, track: e.checkpoint,
+	}
 	if ctx.Done() != nil {
 		s.ctx = ctx
 	}
@@ -80,10 +106,14 @@ func (e *Engine) RunContext(ctx context.Context, numData int, prog stf.Program) 
 	}
 	e.stats = trace.Stats{Workers: []trace.WorkerStats{s.ws}, Wall: wall, Accounted: !e.noAcct}
 	rp.Finish()
-	if h := e.hooks; h != nil && h.OnRunEnd != nil {
-		h.OnRunEnd(s.err)
+	err := s.err
+	if err != nil && e.checkpoint {
+		err = &stf.PartialError{Cause: err, Result: s.partialResult(e.resume)}
 	}
-	return s.err
+	if h := e.hooks; h != nil && h.OnRunEnd != nil {
+		h.OnRunEnd(err)
+	}
+	return err
 }
 
 // Progress snapshots the current (or, between runs, the most recent) run's
@@ -106,9 +136,31 @@ type submitter struct {
 	noAcct bool
 	ctx    context.Context // non-nil only for cancelable runs
 	hooks  *stf.Hooks
+	retry  *stf.RetryPolicy // nil disables task retry
+	snaps  stf.Snapshotter  // write-set capture for retry rollback
+	resume *stf.Checkpoint  // completed tasks of a previous run to skip
+	track  bool             // log completed tasks for checkpoints
+	done   []stf.TaskID     // completed tasks (track only)
 	prog   *trace.ProgressCell
 	ws     trace.WorkerStats
 	err    error
+}
+
+// partialResult assembles the frontier of a failed checkpointing run;
+// sequential execution makes it trivially dependency-closed (a prefix of
+// the flow, minus nothing).
+func (s *submitter) partialResult(resume *stf.Checkpoint) *stf.PartialResult {
+	pr := &stf.PartialResult{Tasks: int(s.next)}
+	if resume != nil {
+		pr.Completed = append(pr.Completed, resume.Completed...)
+	}
+	pr.Completed = append(pr.Completed, s.done...)
+	stf.SortTaskIDs(pr.Completed)
+	var tf *stf.TaskFailure
+	if errors.As(s.err, &tf) {
+		pr.Failed = []stf.TaskID{tf.Task}
+	}
+	return pr
 }
 
 // Worker implements stf.Submitter; the sequential executor is its own
@@ -122,7 +174,7 @@ func (s *submitter) NumWorkers() int { return 1 }
 func (s *submitter) Submit(fn stf.TaskFunc, accesses ...stf.Access) stf.TaskID {
 	id := s.next
 	s.next++
-	s.run(func() { fn() })
+	s.run(accesses, func() { fn() })
 	return id
 }
 
@@ -135,11 +187,11 @@ func (s *submitter) SubmitTask(t *stf.Task, k stf.Kernel) stf.TaskID {
 		return t.ID
 	}
 	s.next = t.ID + 1
-	s.run(func() { k(t, stf.MasterWorker) })
+	s.run(t.Accesses, func() { k(t, stf.MasterWorker) })
 	return t.ID
 }
 
-func (s *submitter) run(f func()) {
+func (s *submitter) run(accesses []stf.Access, f func()) {
 	if s.err != nil {
 		return
 	}
@@ -148,6 +200,16 @@ func (s *submitter) run(f func()) {
 		return
 	}
 	id := s.next - 1
+	if s.resume != nil && s.resume.Contains(id) {
+		// Completed in a previous run; its effects are already in memory.
+		s.ws.Skipped++
+		s.prog.StoreSkipped(s.ws.Skipped)
+		return
+	}
+	if s.retry != nil {
+		s.runAttempts(id, accesses, f)
+		return
+	}
 	// A panicking task fails the run but does not unwind the caller
 	// (Submit keeps its documented return-after-execution contract);
 	// subsequent tasks are skipped via the sticky error. The unwinding
@@ -175,4 +237,97 @@ func (s *submitter) run(f func()) {
 	s.prog.SetCurrent(stf.NoTask)
 	s.ws.Executed++
 	s.prog.StoreExecuted(s.ws.Executed)
+	if s.track {
+		s.done = append(s.done, id)
+	}
+}
+
+// runAttempts executes one task body under the retry policy: failed
+// attempts roll back the write-set (the sequential engine's data is
+// trivially quiescent) and re-execute after a deterministic backoff. A
+// terminal failure sets the sticky error to a *stf.TaskFailure; later
+// tasks are skipped, so the completed set is a clean prefix.
+func (s *submitter) runAttempts(id stf.TaskID, accesses []stf.Access, f func()) {
+	s.prog.SetCurrent(id)
+	if h := s.hooks; h != nil && h.OnTaskStart != nil {
+		h.OnTaskStart(stf.MasterWorker, id)
+	}
+	p := s.retry
+	restore, can := stf.SnapshotWriteSet(s.snaps, accesses)
+	maxAttempts := p.MaxAttempts
+	if maxAttempts < 1 || !can {
+		maxAttempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		cause, ok := s.tryOnce(f)
+		if ok {
+			if h := s.hooks; h != nil && h.OnTaskEnd != nil {
+				h.OnTaskEnd(stf.MasterWorker, id)
+			}
+			s.prog.SetCurrent(stf.NoTask)
+			s.ws.Executed++
+			s.prog.StoreExecuted(s.ws.Executed)
+			if s.track {
+				s.done = append(s.done, id)
+			}
+			return
+		}
+		if restore != nil {
+			restore()
+		}
+		canceled := s.ctx != nil && s.ctx.Err() != nil
+		if attempt >= maxAttempts || !p.Transient(cause) || canceled {
+			// Current stays parked on the failed task, like the panic path.
+			s.err = &stf.TaskFailure{Task: id, Attempts: attempt, Cause: cause}
+			return
+		}
+		s.ws.Retried++
+		s.prog.StoreRetried(s.ws.Retried)
+		if h := s.hooks; h != nil && h.OnTaskRetry != nil {
+			h.OnTaskRetry(stf.MasterWorker, id, attempt, cause)
+		}
+		if !s.backoff(p.Delay(attempt + 1)) {
+			s.err = fmt.Errorf("sequential: run canceled: %w", context.Cause(s.ctx))
+			return
+		}
+	}
+}
+
+// tryOnce runs the body once, converting a panic into a returned cause.
+func (s *submitter) tryOnce(f func()) (cause any, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			cause = r
+			ok = false
+		}
+	}()
+	if s.noAcct {
+		f()
+	} else {
+		t0 := time.Now()
+		f()
+		s.ws.Task += time.Since(t0)
+	}
+	return nil, true
+}
+
+// backoffSlice bounds each individual sleep of a retry backoff so a
+// canceled run cuts the wait short.
+const backoffSlice = 10 * time.Millisecond
+
+// backoff sleeps d in short slices, polling the run context. Returns
+// false when the run was canceled mid-wait.
+func (s *submitter) backoff(d time.Duration) bool {
+	for d > 0 {
+		if s.ctx != nil && s.ctx.Err() != nil {
+			return false
+		}
+		step := d
+		if step > backoffSlice {
+			step = backoffSlice
+		}
+		time.Sleep(step)
+		d -= step
+	}
+	return true
 }

@@ -85,6 +85,14 @@ type RIOOptions struct {
 	// SkipRefinement disables the (more expensive) STF-reachability
 	// refinement check and verifies only the direct invariants.
 	SkipRefinement bool
+	// Retry adds the fault-tolerance rollback transition: an active task
+	// may fail, roll its write-set back and return the worker to the
+	// pre-attempt position (active → idle, pos decremented) so it can be
+	// re-executed. Checking with Retry confirms that rollback+re-execute
+	// preserves every invariant — each post-rollback state projects onto a
+	// reachable STF state and re-execution is ready under STF rules — i.e.
+	// retried runs stay sequentially consistent.
+	Retry bool
 }
 
 // CheckRIO exhaustively explores the Run-In-Order model, verifying
@@ -142,6 +150,18 @@ func (m *Model) CheckRIO(opts RIOOptions) *Result {
 					n := s
 					n.active[w] = idle
 					buf = append(buf, n)
+					if opts.Retry {
+						// Rollback: the attempt fails, the write-set is
+						// restored, and the worker stands before the same
+						// task again. The restored state must be (and is)
+						// a previously reachable one — the model has no
+						// memory of the failed attempt, which is exactly
+						// the write-set-rollback guarantee.
+						r := s
+						r.active[w] = idle
+						r.pos[w]--
+						buf = append(buf, r)
+					}
 					continue
 				}
 				p := int(s.pos[w])

@@ -97,6 +97,10 @@ type StreamStats struct {
 	// Declared is the number of distinct foreign tasks the stream declares
 	// accesses for (tasks pruned from the stream count for neither).
 	Declared int64
+	// Skipped is the number of owned tasks removed from the stream by a
+	// checkpoint resume (PruneCompleted). Zero for freshly compiled
+	// programs.
+	Skipped int64
 }
 
 // CompiledProgram is a recorded Graph lowered for one (mapping, workers)

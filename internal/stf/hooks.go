@@ -1,7 +1,7 @@
 package stf
 
-// Hooks is the engine-agnostic lifecycle-hook surface of the runtime: six
-// optional callbacks observing a run from the outside, designed so that the
+// Hooks is the engine-agnostic lifecycle-hook surface of the runtime: a set
+// of optional callbacks observing a run from the outside, designed so that the
 // disabled case costs the hot path a single pointer test. Engines hold a
 // *Hooks; a nil pointer (no hooks installed) short-circuits every site with
 // one branch, and no allocation ever happens on behalf of the hooks — the
@@ -44,4 +44,11 @@ type Hooks struct {
 	// abandoned by a run abort); every OnWaitStart is paired with exactly
 	// one OnWaitEnd.
 	OnWaitEnd func(w WorkerID, id TaskID, a Access)
+	// OnTaskRetry fires on the executing worker after a task attempt
+	// failed, its write-set was rolled back, and the runtime decided to
+	// retry: attempt is the number of the attempt that just failed (1 for
+	// the first try), cause the recovered failure. It fires before the
+	// backoff sleep, and never for terminal failures (those surface through
+	// the run error). Requires a RetryPolicy; see internal/stf/retry.go.
+	OnTaskRetry func(w WorkerID, id TaskID, attempt int, cause any)
 }

@@ -26,8 +26,9 @@ type jsonTask struct {
 }
 
 type jsonAccess struct {
-	Data DataID `json:"data"`
-	Mode string `json:"mode"`
+	Data       DataID `json:"data"`
+	Mode       string `json:"mode"`
+	Idempotent bool   `json:"idempotent,omitempty"`
 }
 
 // WriteJSON serializes g.
@@ -37,7 +38,7 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 		t := &g.Tasks[i]
 		jt := jsonTask{Kernel: t.Kernel, I: t.I, J: t.J, K: t.K}
 		for _, a := range t.Accesses {
-			jt.Accesses = append(jt.Accesses, jsonAccess{Data: a.Data, Mode: a.Mode.String()})
+			jt.Accesses = append(jt.Accesses, jsonAccess{Data: a.Data, Mode: a.Mode.String(), Idempotent: a.Idempotent})
 		}
 		jg.Tasks[i] = jt
 	}
@@ -60,7 +61,7 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("stf: task %d: %w", i, err)
 			}
-			accesses = append(accesses, Access{Data: ja.Data, Mode: mode})
+			accesses = append(accesses, Access{Data: ja.Data, Mode: mode, Idempotent: ja.Idempotent})
 		}
 		g.Add(jt.Kernel, jt.I, jt.J, jt.K, accesses...)
 	}

@@ -1,0 +1,98 @@
+package stf
+
+// Checkpoint resume for compiled replay: skipping the completed tasks of a
+// Checkpoint is literal instruction-stream pruning — the same mechanism as
+// the paper's §3.5 task pruning, applied to the frontier of an interrupted
+// run instead of a static relevance analysis. Because the checkpoint is
+// dependency-closed and every worker drops exactly the same task set, the
+// pruned streams still replay a consistent flow: a surviving task's get_*
+// waits only ever reference terminations that either survive too or were
+// already published (in data memory) by the previous run.
+
+// PruneCompleted returns a copy of cp with every instruction belonging to
+// a task in c's completed set removed from every stream, and per-stream
+// stats adjusted: skipped owned tasks move from Executed to Skipped,
+// skipped foreign tasks leave Declared. cp itself is never mutated (it may
+// be cached and shared); when the checkpoint is empty cp is returned
+// as-is.
+//
+// The checkpoint must come from a run of the same flow cp was compiled
+// from (same graph, any engine). Completed IDs beyond cp's task table are
+// ignored.
+//
+// One accounting nuance: a zero-access foreign task emits no instructions
+// (Compile charges it straight to Declared), so when cp was itself
+// §3.5-pruned the compiler's relevance decision for it is no longer
+// recoverable and its Declared charge is left in place — a documented
+// over-count of at most the completed zero-access task count, affecting
+// statistics only, never synchronization.
+func PruneCompleted(cp *CompiledProgram, c *Checkpoint) *CompiledProgram {
+	if c == nil || len(c.Completed) == 0 {
+		return cp
+	}
+	out := &CompiledProgram{
+		Name:    cp.Name,
+		NumData: cp.NumData,
+		Workers: cp.Workers,
+		Tasks:   cp.Tasks,
+		Streams: make([][]Instr, cp.Workers),
+		Stats:   make([]StreamStats, cp.Workers),
+		Pruned:  cp.Pruned,
+	}
+	// Owners of completed zero-access tasks, discovered while scanning (an
+	// owned task always emits an OpExec, even with no accesses).
+	var zeroOwner map[TaskID]WorkerID
+	for w := range cp.Streams {
+		old := cp.Streams[w]
+		st := cp.Stats[w]
+		ns := make([]Instr, 0, len(old))
+		// A task's instructions are contiguous in its stream (Compile emits
+		// task by task), so group by task and drop whole groups.
+		for i := 0; i < len(old); {
+			id := old[i].Task
+			j := i
+			hasExec := false
+			for j < len(old) && old[j].Task == id {
+				if old[j].Op == OpExec {
+					hasExec = true
+				}
+				j++
+			}
+			if c.Contains(TaskID(id)) {
+				if hasExec {
+					st.Executed--
+					st.Skipped++
+					if j-i == 1 && !cp.Pruned {
+						if zeroOwner == nil {
+							zeroOwner = make(map[TaskID]WorkerID)
+						}
+						zeroOwner[TaskID(id)] = WorkerID(w)
+					}
+				} else {
+					st.Declared--
+				}
+			} else {
+				ns = append(ns, old[i:j]...)
+			}
+			i = j
+		}
+		out.Streams[w] = ns
+		out.Stats[w] = st
+	}
+	if !cp.Pruned {
+		// Completed zero-access foreign tasks left no instructions to drop,
+		// but Compile charged them to every non-owner's Declared.
+		for _, id := range c.Completed {
+			if int(id) >= len(cp.Tasks) || len(cp.Tasks[id].Accesses) != 0 {
+				continue
+			}
+			owner, ok := zeroOwner[id]
+			for w := range out.Stats {
+				if !ok || WorkerID(w) != owner {
+					out.Stats[w].Declared--
+				}
+			}
+		}
+	}
+	return out
+}

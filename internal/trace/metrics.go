@@ -40,6 +40,16 @@ func WriteMetrics(w io.Writer, p Progress) error {
 	for i := range p.Workers {
 		ew.printf("rio_tasks_claimed_total{worker=\"%d\"} %d\n", i, p.Workers[i].Claimed)
 	}
+	ew.printf("# HELP rio_tasks_retried_total Rolled-back-and-retried task attempts so far, per worker.\n")
+	ew.printf("# TYPE rio_tasks_retried_total counter\n")
+	for i := range p.Workers {
+		ew.printf("rio_tasks_retried_total{worker=\"%d\"} %d\n", i, p.Workers[i].Retried)
+	}
+	ew.printf("# HELP rio_tasks_skipped_total Resume-skipped completed tasks so far, per worker.\n")
+	ew.printf("# TYPE rio_tasks_skipped_total counter\n")
+	for i := range p.Workers {
+		ew.printf("rio_tasks_skipped_total{worker=\"%d\"} %d\n", i, p.Workers[i].Skipped)
+	}
 	ew.printf("# HELP rio_worker_current_task Task ID the worker is executing, -1 when idle.\n")
 	ew.printf("# TYPE rio_worker_current_task gauge\n")
 	for i := range p.Workers {

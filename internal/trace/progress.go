@@ -45,6 +45,10 @@ type WorkerProgress struct {
 	Executed int64 `json:"executed"`
 	Declared int64 `json:"declared"`
 	Claimed  int64 `json:"claimed"`
+	// Retried counts rolled-back-and-retried task attempts, Skipped the
+	// tasks a Resume checkpoint let this worker skip (fault tolerance).
+	Retried int64 `json:"retried"`
+	Skipped int64 `json:"skipped"`
 	// Current is the ID of the task this worker is executing right now,
 	// or stf.NoTask (-1) when it is between tasks (replaying, waiting or
 	// done).
@@ -94,6 +98,24 @@ func (p *Progress) Claimed() int64 {
 	return n
 }
 
+// Retried returns the total retried task attempts so far.
+func (p *Progress) Retried() int64 {
+	var n int64
+	for i := range p.Workers {
+		n += p.Workers[i].Retried
+	}
+	return n
+}
+
+// Skipped returns the total resume-skipped tasks so far.
+func (p *Progress) Skipped() int64 {
+	var n int64
+	for i := range p.Workers {
+		n += p.Workers[i].Skipped
+	}
+	return n
+}
+
 // WaitHist returns the wait-duration histogram summed across workers.
 func (p *Progress) WaitHist() [NumWaitBuckets]int64 {
 	var h [NumWaitBuckets]int64
@@ -114,6 +136,8 @@ type ProgressCell struct {
 	executed atomic.Int64
 	declared atomic.Int64
 	claimed  atomic.Int64
+	retried  atomic.Int64
+	skipped  atomic.Int64
 	current  atomic.Int64 // task ID being executed, or stf.NoTask
 	waitHist [NumWaitBuckets]atomic.Int64
 	_        [24]byte // pad to keep neighboring workers off this line
@@ -127,6 +151,12 @@ func (c *ProgressCell) StoreDeclared(n int64) { c.declared.Store(n) }
 
 // StoreClaimed publishes the worker's dynamically-claimed tally.
 func (c *ProgressCell) StoreClaimed(n int64) { c.claimed.Store(n) }
+
+// StoreRetried publishes the worker's retried-attempt tally.
+func (c *ProgressCell) StoreRetried(n int64) { c.retried.Store(n) }
+
+// StoreSkipped publishes the worker's resume-skipped tally.
+func (c *ProgressCell) StoreSkipped(n int64) { c.skipped.Store(n) }
 
 // SetCurrent publishes the task the worker is executing (stf.NoTask to
 // clear).
@@ -176,6 +206,8 @@ func (t *ProgressTable) Snapshot() Progress {
 		out.Executed = cell.executed.Load()
 		out.Declared = cell.declared.Load()
 		out.Claimed = cell.claimed.Load()
+		out.Retried = cell.retried.Load()
+		out.Skipped = cell.skipped.Load()
 		out.Current = stf.TaskID(cell.current.Load())
 		for b := range cell.waitHist {
 			out.WaitHist[b] = cell.waitHist[b].Load()

@@ -39,6 +39,14 @@ type WorkerStats struct {
 	// Claimed counts executed tasks that had no static owner and were
 	// won dynamically (partial mappings); Claimed <= Executed.
 	Claimed int64
+	// Retried counts failed task attempts that were rolled back and
+	// re-executed under a retry policy (fault tolerance); each retried
+	// attempt counts once, so a task succeeding on its third attempt
+	// contributes 2.
+	Retried int64
+	// Skipped counts tasks a Resume checkpoint marked completed, charged
+	// to the worker that would have executed them.
+	Skipped int64
 }
 
 // Stats aggregates a run: one entry per worker plus the run's wall time.
@@ -104,6 +112,25 @@ func (s *Stats) Claimed() int64 {
 	var n int64
 	for _, w := range s.Workers {
 		n += w.Claimed
+	}
+	return n
+}
+
+// Retried returns the total number of rolled-back-and-retried task
+// attempts across workers.
+func (s *Stats) Retried() int64 {
+	var n int64
+	for _, w := range s.Workers {
+		n += w.Retried
+	}
+	return n
+}
+
+// Skipped returns the total number of resume-skipped tasks across workers.
+func (s *Stats) Skipped() int64 {
+	var n int64
+	for _, w := range s.Workers {
+		n += w.Skipped
 	}
 	return n
 }

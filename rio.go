@@ -103,6 +103,27 @@ type (
 	// replay the same task flow (the program is nondeterministic).
 	DivergenceError = stf.DivergenceError
 
+	// RetryPolicy configures transient-fault retry of task bodies with
+	// write-set rollback (Options.Retry).
+	RetryPolicy = stf.RetryPolicy
+	// Snapshotter captures and restores data objects so a failed task's
+	// write-set can be rolled back before a retry (Options.Snapshots).
+	Snapshotter = stf.Snapshotter
+	// SnapshotFuncs adapts two closures into a Snapshotter.
+	SnapshotFuncs = stf.SnapshotFuncs
+	// TaskFailure is the terminal failure of one task after retry was
+	// exhausted or declined (use errors.As).
+	TaskFailure = stf.TaskFailure
+	// Checkpoint is the dependency-closed completed-task frontier of an
+	// aborted run; pass it to Options.Resume to skip those tasks.
+	Checkpoint = stf.Checkpoint
+	// PartialResult describes how far an aborted run got: completed,
+	// failed and skipped task sets.
+	PartialResult = stf.PartialResult
+	// PartialError wraps the cause of an aborted checkpointing run
+	// together with its PartialResult (use errors.As).
+	PartialError = stf.PartialError
+
 	// PreflightPasses selects the static-analysis passes Options.Preflight
 	// runs before every Run (see internal/analyze).
 	PreflightPasses = analyze.Passes
@@ -132,6 +153,11 @@ const (
 	// PreflightSpec model-checks small instances against the formal
 	// specification (internal/spec); larger instances are skipped.
 	PreflightSpec = analyze.PassSpec
+	// PreflightRetry lints fault-tolerance configuration: with a retry
+	// policy installed, every task's written data must be idempotent or
+	// snapshottable to be retryable (RIO-R001), and oversized per-attempt
+	// snapshots are flagged (RIO-R002). No-op without Options.Retry.
+	PreflightRetry = analyze.PassRetry
 	// PreflightAll runs every pass.
 	PreflightAll = analyze.PassAll
 )
@@ -289,6 +315,26 @@ type Options struct {
 	// runtimes ignore it; explicit Compile calls take pruning as an
 	// argument instead.
 	Prune bool
+	// Retry installs transient-fault tolerance: a task body that panics
+	// (or fails per Retry.Classify) has its write-set rolled back via
+	// Snapshots and is re-executed after a deterministic backoff, up to
+	// Retry.MaxAttempts times. Tasks whose written data is neither
+	// idempotent (see Access.AsIdempotent) nor snapshottable get exactly
+	// one attempt. nil (the default) disables retry and costs the hot
+	// path one pointer test per task. Retry implies Checkpoint.
+	Retry *RetryPolicy
+	// Snapshots captures and restores data objects for retry rollback.
+	// Without it, only tasks whose writes are all idempotent are retried.
+	Snapshots Snapshotter
+	// Resume skips the tasks recorded as completed in a previous run's
+	// Checkpoint (obtained from a PartialError); their effects must still
+	// be present in the data objects. The program (or graph) must be the
+	// one that produced the checkpoint.
+	Resume *Checkpoint
+	// Checkpoint enables completed-task tracking: a failed run returns a
+	// *PartialError whose PartialResult carries the dependency-closed
+	// completed frontier for Resume. Implied by Retry.
+	Checkpoint bool
 	// Hooks optionally installs lifecycle callbacks fired by every engine:
 	// run start/end, task start/end and dependency-wait start/end. The
 	// callbacks run on the worker goroutines and must be concurrency-safe;
@@ -389,6 +435,10 @@ func coreOptions(o Options) core.Options {
 		StallTimeout: o.StallTimeout,
 		NoGuard:      o.NoGuard,
 		Hooks:        o.Hooks,
+		Retry:        o.Retry,
+		Snapshots:    o.Snapshots,
+		Resume:       o.Resume,
+		Checkpoint:   o.Checkpoint,
 	}
 }
 
@@ -413,9 +463,17 @@ func newEngine(o Options) (Runtime, error) {
 			WaitPolicy:   o.WaitPolicy,
 			SpinLimit:    o.SpinLimit,
 			Hooks:        o.Hooks,
+			Retry:        o.Retry,
+			Snapshots:    o.Snapshots,
+			Resume:       o.Resume,
+			Checkpoint:   o.Checkpoint,
 		})
 	case Sequential:
-		return sequential.New(sequential.Options{NoAccounting: o.NoAccounting, Hooks: o.Hooks}), nil
+		return sequential.New(sequential.Options{
+			NoAccounting: o.NoAccounting, Hooks: o.Hooks,
+			Retry: o.Retry, Snapshots: o.Snapshots,
+			Resume: o.Resume, Checkpoint: o.Checkpoint,
+		}), nil
 	}
 	return nil, fmt.Errorf("rio: unknown model %v", o.Model)
 }
@@ -441,6 +499,10 @@ func preflightConfig(o Options, workers int) analyze.Config {
 		Workers: workers,
 		Mapping: o.Mapping,
 		InOrder: o.Model == InOrder,
+		Retry:   o.Retry != nil,
+	}
+	if o.Snapshots != nil {
+		cfg.Snapshottable = o.Snapshots.CanSnapshot
 	}
 	if cfg.Mapping == nil && o.Model == InOrder {
 		cfg.Mapping = CyclicMapping(workers)
