@@ -554,3 +554,57 @@ func BenchmarkRetryOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkVerifyOverhead prices Options.Verify, the translation
+// validator run at every Engine cache miss. The steady-state cost must be
+// zero — certification happens once, at the miss, and cache hits replay
+// untouched streams — so the off/on sub-benchmarks are primed with one
+// RunGraph before timing and should report identical ns/task. The
+// certify-once sub-benchmark times the certificate itself (rio.Verify on
+// a freshly compiled program), the one-off price a miss pays.
+func BenchmarkVerifyOverhead(b *testing.B) {
+	g := graphs.Independent(32768)
+	noop := func(*stf.Task, stf.WorkerID) {}
+	m := rio.CyclicMapping(benchWorkers)
+	for _, v := range []struct {
+		name   string
+		verify bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			e, err := rio.NewEngine(rio.Options{
+				Workers: benchWorkers, Mapping: m, Prune: true,
+				Verify: v.verify, NoAccounting: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Prime the cache (and pay certification) outside the timed
+			// region; the loop then measures pure cache-hit replay.
+			if err := e.RunGraph(g, noop); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.RunGraph(g, noop); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(g.Tasks)), "ns/task")
+		})
+	}
+	b.Run("certify-once", func(b *testing.B) {
+		cp, err := rio.Compile(g, benchWorkers, m, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rep := rio.Verify(g, cp, m, nil); len(rep.Findings) != 0 {
+				b.Fatal("clean program rejected")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(g.Tasks)), "ns/task")
+	})
+}

@@ -2,9 +2,10 @@
 // (internal/lint) over a source tree — the vet-style companion of
 // rio-vet, which analyzes task flows rather than Go source.
 //
-//	rio-lint            lint the current directory tree
-//	rio-lint path...    lint the given trees
-//	rio-lint -list      show the analyzers
+//	rio-lint                     lint the current directory tree
+//	rio-lint path...             lint the given trees
+//	rio-lint -list               show the analyzers
+//	rio-lint -passes padguard .  run a subset of the analyzers
 //
 // The analyzers check implementation invariants of the engines that go
 // vet cannot express: poll loops must check the run-abort/cancellation
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"rio/internal/lint"
 )
@@ -38,11 +40,15 @@ func main() {
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("rio-lint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	passSpec := fs.String("passes", "all", "comma-separated analyzers to run (see -list), or all")
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
 	if err := fs.Parse(args); err != nil {
 		return 0, err
 	}
-	analyzers := lint.All()
+	analyzers, err := parsePasses(*passSpec)
+	if err != nil {
+		return 0, err
+	}
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
@@ -76,4 +82,37 @@ func run(args []string, out io.Writer) (int, error) {
 		fmt.Fprintf(out, "%d diagnostic(s)\n", len(diags))
 	}
 	return len(diags), nil
+}
+
+// parsePasses resolves the -passes flag against the analyzer registry
+// (mirrors rio-vet's flag of the same name).
+func parsePasses(s string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var selected []*lint.Analyzer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "all":
+			return all, nil
+		case name == "":
+		case byName[name] == nil:
+			names := make([]string, 0, len(all))
+			for _, a := range all {
+				names = append(names, a.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (want %s or all)", name, strings.Join(names, "|"))
+		case !seen[name]:
+			seen[name] = true
+			selected = append(selected, byName[name])
+		}
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return selected, nil
 }

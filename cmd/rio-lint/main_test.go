@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rio/internal/lint"
+)
+
+// writeTree materializes a map of path → source under a temp dir and
+// returns the root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, src := range files {
+		full := filepath.Join(root, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const cleanSource = `package core
+
+func fine() int { return 1 }
+`
+
+// dirtySource trips atomicfield (plain read of an atomic field) and
+// padguard (hand-counted pad) in one package.
+const dirtySource = `package core
+
+import "sync/atomic"
+
+type sharedState struct {
+	ctr atomic.Int64
+	_   [56]byte
+}
+
+func bad(s *sharedState) int64 {
+	return int64(s.ctr.Load()) + readPlain(s)
+}
+
+func readPlain(s *sharedState) int64 {
+	var v atomic.Int64
+	v = s.ctr
+	return v.Load()
+}
+`
+
+// TestLintExitCodeContract pins the exit-status contract, identical to
+// rio-vet's: run's (count, err) map to exit codes in main — err != nil →
+// 2 (usage error), count > 0 → 1 (diagnostics reported), neither → 0. A
+// diagnostic must never surface through err: scripts rely on exit 2
+// meaning "the tool could not run", not "the tool found something".
+func TestLintExitCodeContract(t *testing.T) {
+	clean := writeTree(t, map[string]string{"core/ok.go": cleanSource})
+	dirty := writeTree(t, map[string]string{"core/bad.go": dirtySource})
+	cases := []struct {
+		name  string
+		args  []string
+		count bool // want exit 1 (diagnostics)
+		err   bool // want exit 2 (usage/internal error)
+	}{
+		{"clean tree", []string{clean}, false, false},
+		{"violations are diagnostics", []string{dirty}, true, false},
+		{"pass subset still finds its own", []string{"-passes", "padguard", dirty}, true, false},
+		{"pass subset skips others' findings", []string{"-passes", "waitcancel", dirty}, false, false},
+		{"list is clean", []string{"-list"}, false, false},
+		{"bad flag", []string{"-no-such-flag"}, false, true},
+		{"unknown pass", []string{"-passes", "nope", clean}, false, true},
+		{"empty pass set", []string{"-passes", ",", clean}, false, true},
+		{"missing tree", []string{filepath.Join(clean, "absent")}, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := run(tc.args, &bytes.Buffer{})
+			if (n > 0) != tc.count {
+				t.Errorf("diagnostics = %d, want reported=%v", n, tc.count)
+			}
+			if (err != nil) != tc.err {
+				t.Errorf("err = %v, want err=%v", err, tc.err)
+			}
+			if n > 0 && err != nil {
+				t.Error("finding reported through both channels")
+			}
+		})
+	}
+}
+
+func TestLintJSONOutput(t *testing.T) {
+	dirty := writeTree(t, map[string]string{"core/bad.go": dirtySource})
+	var buf bytes.Buffer
+	n, err := run([]string{"-json", dirty}, &buf)
+	if err != nil || n == 0 {
+		t.Fatalf("run: n=%d err=%v", n, err)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(buf.Bytes(), &diags); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if len(diags) != n {
+		t.Fatalf("JSON carries %d diagnostics, run reported %d", len(diags), n)
+	}
+}
+
+func TestLintListNamesEveryAnalyzer(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(buf.String(), a.Name) {
+			t.Errorf("-list output misses %s:\n%s", a.Name, buf.String())
+		}
+	}
+}

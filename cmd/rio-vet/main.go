@@ -4,15 +4,22 @@
 // determinism lint and bounded spec conformance — reporting findings
 // with stable codes and severities.
 //
+// With -verify, the flow is additionally compiled (pruned and unpruned)
+// for the given mapping and worker count, and the streams are certified
+// by the translation validator (internal/verify): coverage, program
+// order, ownership, pruning soundness and the static happens-before
+// certificate, reported as RIO-V00x findings.
+//
 //	rio-vet -workload lu -size 4 -workers 4
 //	rio-vet -workload wavefront -size 8 -workers 4 -mapping single:0
 //	rio-vet -graph flow.json -workers 8 -json
+//	rio-vet -workload cholesky -size 4 -verify
 //	rio-vet -workload nondet
 //
 // The exit status is 0 when the flow is clean, 1 when findings at or
 // above -fail-on were reported, and 2 on usage errors. With -json the
 // report is machine-readable; the same analysis runs inside the library
-// via rio.Options.Preflight.
+// via rio.Options.Preflight and rio.Options.Verify.
 package main
 
 import (
@@ -23,7 +30,9 @@ import (
 	"strings"
 
 	"rio/internal/analyze"
+	"rio/internal/sched"
 	"rio/internal/stf"
+	"rio/internal/verify"
 )
 
 func main() {
@@ -51,6 +60,7 @@ func run(args []string, out io.Writer) (reject bool, err error) {
 	retry := fs.Bool("retry", false, "vet the flow as running under a retry policy (arms the retry pass)")
 	snapshottable := fs.Bool("snapshottable", false, "assume every data object is snapshottable (default: none, matching a run without rio.Options.Snapshots)")
 	writeSetLimit := fs.Int("retry-write-set", analyze.DefaultRetryWriteSetLimit, "per-task snapshotted-object count above which the retry pass warns")
+	doVerify := fs.Bool("verify", false, "compile the flow (pruned and unpruned) and certify the streams against the graph (translation validation, RIO-V00x findings)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	failOn := fs.String("fail-on", "warning", "lowest severity that makes the exit status 1: info | warning | error")
 	minShow := fs.String("show", "info", "lowest severity printed in the human report")
@@ -117,6 +127,25 @@ func run(args []string, out io.Writer) (reject bool, err error) {
 		cfg.Snapshottable = func(stf.DataID) bool { return true }
 	}
 	report, _ := analyze.Program(numData, prog, cfg)
+
+	if *doVerify {
+		if g == nil {
+			return false, fmt.Errorf("-verify needs a recorded graph to certify against (workload %q records none)", *workload)
+		}
+		for _, prune := range []bool{false, true} {
+			var rel [][]bool
+			if prune {
+				rel = sched.Relevant(g, mapping, *workers)
+			}
+			cp, err := stf.Compile(g, mapping, *workers, rel)
+			if err != nil {
+				return false, err
+			}
+			vrep := verify.Certify(g, cp, verify.Config{Mapping: mapping})
+			report.Add(vrep.Findings...)
+		}
+		report.Finish()
+	}
 
 	if *jsonOut {
 		if err := report.WriteJSON(out); err != nil {

@@ -100,6 +100,38 @@ func TestVetAcceptsCleanWorkloads(t *testing.T) {
 	}
 }
 
+func TestVetVerifyCertifiesCleanWorkloads(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workload", "lu", "-size", "3", "-workers", "2", "-verify"},
+		{"-workload", "gemm", "-size", "2", "-workers", "4", "-verify"},
+		{"-workload", "cholesky", "-size", "3", "-workers", "3", "-verify", "-mapping", "blockcyclic:2"},
+	} {
+		rep, reject := vetJSON(t, args...)
+		if reject {
+			t.Errorf("rio-vet %v rejected a certifiable workload: %+v", args, rep.Findings)
+		}
+		for _, f := range rep.Findings {
+			if strings.HasPrefix(string(f.Code), "RIO-V") {
+				t.Errorf("rio-vet %v: unexpected certification finding %s", args, f)
+			}
+		}
+	}
+	// A flow with pre-existing (non-certification) findings still gets a
+	// clean certificate: -verify adds no RIO-V findings of its own.
+	rep, _ := vetJSON(t, "-workload", "random", "-size", "12", "-workers", "3", "-verify")
+	for _, f := range rep.Findings {
+		if strings.HasPrefix(string(f.Code), "RIO-V") {
+			t.Errorf("random workload: unexpected certification finding %s", f)
+		}
+	}
+}
+
+func TestVetVerifyRequiresGraph(t *testing.T) {
+	if _, err := run([]string{"-workload", "nondet", "-verify"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-verify on a graphless workload: want usage error")
+	}
+}
+
 func TestVetHumanReportAndFailOn(t *testing.T) {
 	var buf bytes.Buffer
 	reject, err := run([]string{"-workload", "lu", "-size", "3", "-workers", "2"}, &buf)

@@ -8,6 +8,7 @@ import (
 	"rio/internal/core"
 	"rio/internal/sched"
 	"rio/internal/stf"
+	"rio/internal/verify"
 )
 
 // CompiledProgram is a recorded task flow lowered into flat per-worker
@@ -134,9 +135,48 @@ func (e *Engine) compiled(g *Graph) (*CompiledProgram, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.opts.Verify {
+		if err := certify(g, cp, e.mapping, nil); err != nil {
+			return nil, err
+		}
+		if e.opts.Resume != nil {
+			// The run will prune the checkpointed tasks out (see
+			// core.RunCompiledContext); certify what will actually run.
+			pruned := stf.PruneCompleted(cp, e.opts.Resume)
+			if err := certify(g, pruned, e.mapping, e.opts.Resume); err != nil {
+				return nil, err
+			}
+		}
+	}
 	e.misses++
 	e.cache[g] = cp
 	return cp, nil
+}
+
+// certify runs translation validation and converts a failed certificate
+// into the preflight rejection error.
+func certify(g *Graph, cp *CompiledProgram, m Mapping, resume *Checkpoint) error {
+	report := verify.Certify(g, cp, verify.Config{Mapping: m, Resume: resume})
+	if report.Reject() {
+		return &PreflightError{Report: report}
+	}
+	return nil
+}
+
+// Verify statically certifies that cp is a faithful lowering of g under
+// mapping m (nil means the cyclic default for cp's worker count):
+// coverage and program order, ownership, §3.5 pruning soundness, and the
+// vector-clock happens-before certificate over every conflicting access
+// pair. resume, when non-nil, declares that cp had the checkpoint's
+// completed tasks pruned out (for chained checkpoints, pass the union).
+// The returned report is empty when the program is certified; findings
+// carry the RIO-V00x codes. Options.Verify runs the same certification
+// automatically on every Engine cache miss.
+func Verify(g *Graph, cp *CompiledProgram, m Mapping, resume *Checkpoint) *AnalysisReport {
+	if m == nil && cp != nil && cp.Workers > 0 {
+		m = CyclicMapping(cp.Workers)
+	}
+	return verify.Certify(g, cp, verify.Config{Mapping: m, Resume: resume})
 }
 
 // RunCompiled executes an explicitly pre-compiled program (see Compile)

@@ -142,6 +142,44 @@ const (
 	CodeRetryWriteSet Code = "RIO-R002"
 )
 
+// Translation-validation finding codes (RIO-Vxxx), produced by the
+// internal/verify certifier over (Graph, Mapping, CompiledProgram)
+// triples. All are Error severity: each one means a compiled stream is
+// not a faithful lowering of the recorded flow.
+const (
+	// CodeVerifyStructure: a stream is structurally corrupt — unknown
+	// opcode, out-of-range task or data ID, worker count or data count
+	// disagreeing with the graph, or an unusable mapping.
+	CodeVerifyStructure Code = "RIO-V001"
+	// CodeVerifyCoverage: a task the checkpoint does not cover is never
+	// executed, or is executed more than once.
+	CodeVerifyCoverage Code = "RIO-V002"
+	// CodeVerifyOwnership: a task executes on a worker other than the one
+	// the mapping assigns it to.
+	CodeVerifyOwnership Code = "RIO-V003"
+	// CodeVerifyOrder: a stream violates program order — task groups out
+	// of order or split, or a task's acquire/exec/terminate micro-ops out
+	// of sequence within its group.
+	CodeVerifyOrder Code = "RIO-V004"
+	// CodeVerifyAccessSet: a task's micro-ops do not match its recorded
+	// access list — a dropped, extra, retargeted or mode-changed
+	// instruction.
+	CodeVerifyAccessSet Code = "RIO-V005"
+	// CodeVerifyElision: an elided declare is not dominated by a later
+	// surviving op establishing the same version — §3.5 pruning or
+	// checkpoint resume dropped a real dependency, so a wait would admit
+	// a stale version.
+	CodeVerifyElision Code = "RIO-V006"
+	// CodeVerifyResume: inconsistent checkpoint resume — the checkpoint
+	// is not dependency-closed, or a completed task's micro-ops survive
+	// in some stream.
+	CodeVerifyResume Code = "RIO-V007"
+	// CodeVerifyHappensBefore: a conflicting access pair (W→W, W→R, R→W,
+	// or a reduction fence) is not ordered by the certified
+	// happens-before relation of the streams' waits.
+	CodeVerifyHappensBefore Code = "RIO-V008"
+)
+
 // NoID marks the Task/Data/Worker fields of findings that are not tied to
 // a specific task, data object or worker.
 const NoID = -1
@@ -185,6 +223,15 @@ type Report struct {
 }
 
 func (r *Report) add(fs ...Finding) { r.Findings = append(r.Findings, fs...) }
+
+// Add appends findings produced outside this package (e.g. by the
+// internal/verify certifier) to the report. Call Finish afterwards to
+// restore sort order and severity tallies.
+func (r *Report) Add(fs ...Finding) { r.add(fs...) }
+
+// Finish sorts the findings and recomputes the severity tallies after
+// external findings were merged with Add. It returns the report.
+func (r *Report) Finish() *Report { return r.finish() }
 
 func (r *Report) addf(code Code, sev Severity, task stf.TaskID, data stf.DataID, worker stf.WorkerID, format string, args ...any) {
 	r.add(Finding{Code: code, Severity: sev, Task: task, Data: data, Worker: worker,

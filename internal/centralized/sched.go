@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"rio/internal/stf"
 )
@@ -190,11 +191,20 @@ type stealScheduler struct {
 	rr atomic.Uint64 // round-robin cursor for unhinted tasks
 }
 
+// cacheLine is the coherence granularity the deques are padded to.
+const cacheLine = 64
+
 type workerDeque struct {
+	dequeCell
+	// Keep deques on separate cache lines; the pad is computed so it
+	// tracks the cell's layout.
+	_ [(cacheLine - unsafe.Sizeof(dequeCell{})%cacheLine) % cacheLine]byte
+}
+
+type dequeCell struct {
 	mu    sync.Mutex
 	items []*task
 	head  int
-	_     [40]byte // keep deques on separate cache lines
 }
 
 func newStealScheduler(workers int, wt waitTuning) *stealScheduler {

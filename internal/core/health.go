@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"rio/internal/stf"
 )
@@ -84,13 +85,18 @@ const (
 // writes them while the monitor reads them; the trailing pad keeps
 // adjacent workers' health words on separate cache lines.
 type workerHealth struct {
+	healthWords
+	_ [(cacheLine - unsafe.Sizeof(healthWords{})%cacheLine) % cacheLine]byte
+}
+
+// healthWords is the payload of a workerHealth cell.
+type healthWords struct {
 	phase    atomic.Int32
 	mode     atomic.Int32
 	task     atomic.Int64
 	data     atomic.Int64
 	since    atomic.Int64 // UnixNano of the last phase change to exec/wait
 	executed atomic.Int64 // tasks completed by this worker
-	_        [24]byte
 }
 
 func (h *workerHealth) setExec(id int64) {

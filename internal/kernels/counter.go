@@ -5,7 +5,10 @@
 // examples.
 package kernels
 
-import "time"
+import (
+	"time"
+	"unsafe"
+)
 
 // Spin is the paper's synthetic task kernel: a loop performing n stores to
 // a counter cell. With this kernel the granularity efficiency e_g and the
@@ -31,9 +34,12 @@ type Cells struct {
 	cells []paddedCell
 }
 
+// cacheLine is the coherence granularity the cells are padded to.
+const cacheLine = 64
+
 type paddedCell struct {
 	v uint64
-	_ [56]byte
+	_ [cacheLine - unsafe.Sizeof(uint64(0))]byte
 }
 
 // NewCells returns counter cells for p workers.

@@ -21,7 +21,10 @@
 //   - atomicfield: struct fields declared with a sync/atomic type must
 //     only be touched through atomic method calls (Load/Store/Add/...),
 //     never read or written as plain fields — the shared half of the
-//     per-data protocol state is exactly such a struct.
+//     per-data protocol state is exactly such a struct;
+//   - padguard: blank struct pad fields (_ [N]byte) must compute N from
+//     unsafe.Sizeof of the padded payload — a hand-counted pad silently
+//     stops padding when the struct grows.
 package lint
 
 import (
@@ -88,7 +91,7 @@ func (a *Analyzer) applies(pkgName string) bool {
 }
 
 // All returns every analyzer of the runtime.
-func All() []*Analyzer { return []*Analyzer{WaitCancel, AtomicField} }
+func All() []*Analyzer { return []*Analyzer{WaitCancel, AtomicField, PadGuard} }
 
 // Dir walks root recursively, groups non-test .go files into packages
 // and runs the analyzers. Hidden directories, testdata and vendor trees

@@ -264,3 +264,87 @@ func (l *localState) fine() {
 		t.Fatalf("plain twin struct flagged: %v", diags)
 	}
 }
+
+func TestPadGuardFlagsHandCountedPad(t *testing.T) {
+	src := `package core
+
+type padded struct {
+	v uint64
+	_ [56]byte
+}
+`
+	diags := lintSource(t, "core/pad.go", src)
+	if !hasAnalyzer(diags, "padguard") {
+		t.Fatalf("want a padguard diagnostic, got %v", diags)
+	}
+}
+
+// A pad whose length reaches unsafe.Sizeof — directly or through a
+// package-level constant — is the computed idiom and must pass.
+func TestPadGuardAcceptsComputedPad(t *testing.T) {
+	src := `package core
+
+import "unsafe"
+
+const cacheLine = 64
+
+type cell struct {
+	v uint64
+}
+
+type padded struct {
+	cell
+	_ [(cacheLine - unsafe.Sizeof(cell{})%cacheLine) % cacheLine]byte
+}
+
+type simple struct {
+	v uint64
+	_ [cacheLine - unsafe.Sizeof(uint64(0))]byte
+}
+`
+	if diags := lintSource(t, "core/pad.go", src); len(diags) != 0 {
+		t.Fatalf("computed pad flagged: %v", diags)
+	}
+}
+
+// A constant chain must be resolved transitively, and a hand-counted
+// constant at the end of it still flagged.
+func TestPadGuardResolvesConstChains(t *testing.T) {
+	src := `package core
+
+const lineSize = 64
+const pad = lineSize - 8
+
+type padded struct {
+	v uint64
+	_ [pad]byte
+}
+`
+	diags := lintSource(t, "core/pad.go", src)
+	if !hasAnalyzer(diags, "padguard") {
+		t.Fatalf("want a padguard diagnostic through the const chain, got %v", diags)
+	}
+}
+
+// Unresolvable length expressions (imported constants) are skipped, and
+// non-pad blank fields or unsized arrays are not pads at all.
+func TestPadGuardSkipsUnresolvableAndNonPads(t *testing.T) {
+	src := `package core
+
+import "rio/internal/other"
+
+type padded struct {
+	v uint64
+	_ [other.Pad]byte
+}
+
+type notAPad struct {
+	_ struct{}
+	_ []byte
+	w [8]byte
+}
+`
+	if diags := lintSource(t, "core/pad.go", src); len(diags) != 0 {
+		t.Fatalf("unresolvable/non-pad fields flagged: %v", diags)
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PadGuard enforces the cache-line padding idiom of the protocol state
+// (internal/core's sharedState, internal/kernels' paddedCell): a blank
+// struct pad field `_ [N]byte` must compute N from unsafe.Sizeof of the
+// padded payload, never hand-count it. A hand-counted pad silently stops
+// padding — or overflows negative and stops compiling — the moment a
+// field is added to the struct; the computed form
+//
+//	_ [(cacheLine - unsafe.Sizeof(cell{})%cacheLine) % cacheLine]byte
+//
+// tracks the layout by construction. The array-length expression may
+// reach unsafe.Sizeof through package-level constants, which are resolved
+// transitively; expressions mentioning identifiers the analyzer cannot
+// resolve within the package are skipped (under-approximation, like the
+// other analyzers — no false positives from cross-package constants).
+var PadGuard = &Analyzer{
+	Name: "padguard",
+	Doc:  "struct pad fields (_ [N]byte) must compute N from unsafe.Sizeof, not hand-count it",
+	Run:  runPadGuard,
+}
+
+func runPadGuard(p *Package) []Diagnostic {
+	consts := indexConsts(p)
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if !isBlankPad(fld) {
+					continue
+				}
+				arr := fld.Type.(*ast.ArrayType)
+				found, unresolved := sizeofIn(arr.Len, consts, map[string]bool{})
+				if found || unresolved {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: "padguard",
+					Pos:      p.Fset.Position(fld.Pos()),
+					Message: "pad field's length is hand-counted; compute it from unsafe.Sizeof " +
+						"so it tracks the struct layout",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isBlankPad reports whether fld is a padding field: every name blank and
+// the type a byte (or uint8) array.
+func isBlankPad(fld *ast.Field) bool {
+	if len(fld.Names) == 0 {
+		return false
+	}
+	for _, name := range fld.Names {
+		if name.Name != "_" {
+			return false
+		}
+	}
+	arr, ok := fld.Type.(*ast.ArrayType)
+	if !ok || arr.Len == nil { // slices are not pads
+		return false
+	}
+	elt, ok := arr.Elt.(*ast.Ident)
+	return ok && (elt.Name == "byte" || elt.Name == "uint8")
+}
+
+// indexConsts maps the package-level constant names to their value
+// expressions (single-name, single-value specs only — enough for the
+// cacheLine-style constants pads are built from).
+func indexConsts(p *Package) map[string]ast.Expr {
+	consts := map[string]ast.Expr{}
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						consts[name.Name] = vs.Values[i]
+					}
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// sizeofIn walks a constant expression looking for an unsafe.Sizeof (or
+// unsafe.Offsetof/Alignof — all layout-derived) call, resolving
+// package-level constant identifiers transitively. It reports whether one
+// was found, and whether the expression mentioned an identifier that
+// could not be resolved within the package (imported constants, iota —
+// the caller skips those rather than risk a false positive).
+func sizeofIn(expr ast.Expr, consts map[string]ast.Expr, visiting map[string]bool) (found, unresolved bool) {
+	switch e := expr.(type) {
+	case nil:
+		return false, false
+	case *ast.BasicLit:
+		return false, false
+	case *ast.Ident:
+		if def, ok := consts[e.Name]; ok {
+			if visiting[e.Name] {
+				return false, false
+			}
+			visiting[e.Name] = true
+			defer delete(visiting, e.Name)
+			return sizeofIn(def, consts, visiting)
+		}
+		return false, true
+	case *ast.SelectorExpr:
+		if pkg, ok := e.X.(*ast.Ident); ok && pkg.Name == "unsafe" {
+			switch e.Sel.Name {
+			case "Sizeof", "Offsetof", "Alignof":
+				return true, false
+			}
+		}
+		return false, true // a constant from another package
+	case *ast.CallExpr:
+		found, unresolved = sizeofIn(e.Fun, consts, visiting)
+		if found {
+			return true, false // arguments no longer matter
+		}
+		// unsafe.Sizeof(T{}) resolves through the Fun case above; a call
+		// to anything else cannot hide a Sizeof in a constant expression,
+		// but conversions like uintptr(x) can carry one in the argument.
+		for _, arg := range e.Args {
+			f, u := sizeofIn(arg, consts, visiting)
+			found, unresolved = found || f, unresolved || u
+		}
+		return found, unresolved
+	case *ast.BinaryExpr:
+		lf, lu := sizeofIn(e.X, consts, visiting)
+		rf, ru := sizeofIn(e.Y, consts, visiting)
+		return lf || rf, lu || ru
+	case *ast.UnaryExpr:
+		return sizeofIn(e.X, consts, visiting)
+	case *ast.ParenExpr:
+		return sizeofIn(e.X, consts, visiting)
+	case *ast.CompositeLit, *ast.ArrayType, *ast.StructType:
+		return false, false // type literals inside Sizeof args
+	default:
+		return false, true
+	}
+}

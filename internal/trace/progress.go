@@ -3,6 +3,7 @@ package trace
 import (
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"rio/internal/stf"
 )
@@ -133,6 +134,18 @@ func (p *Progress) WaitHist() [NumWaitBuckets]int64 {
 // tallies — no read-modify-write on shared lines, so the always-on cost is
 // one atomic store per declare and three per execution.
 type ProgressCell struct {
+	progressCounters
+	// Pad to a cache-line multiple to keep neighboring workers off this
+	// line; computed, not hand-counted, so it stays correct when the
+	// counter block grows.
+	_ [(cacheLine - unsafe.Sizeof(progressCounters{})%cacheLine) % cacheLine]byte
+}
+
+// cacheLine is the coherence granularity ProgressCell pads to.
+const cacheLine = 64
+
+// progressCounters is the payload of a ProgressCell.
+type progressCounters struct {
 	executed atomic.Int64
 	declared atomic.Int64
 	claimed  atomic.Int64
@@ -140,7 +153,6 @@ type ProgressCell struct {
 	skipped  atomic.Int64
 	current  atomic.Int64 // task ID being executed, or stf.NoTask
 	waitHist [NumWaitBuckets]atomic.Int64
-	_        [24]byte // pad to keep neighboring workers off this line
 }
 
 // StoreExecuted publishes the worker's executed-task tally.

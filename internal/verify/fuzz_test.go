@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"rio/internal/enginetest"
+	"rio/internal/faultinject"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+// FuzzCompileVerify is the translation-validation property: for any
+// graph, mapping and worker count, whatever stf.Compile produces — with
+// or without §3.5 pruning, with or without checkpoint resume — must
+// certify clean, and every faultinject stream mutation of it must be
+// rejected. The first half fuzzes the compiler against the certifier;
+// the second fuzzes the certifier against known-broken streams.
+func FuzzCompileVerify(f *testing.F) {
+	f.Add(int64(1), 12, 5, 2, 0, false)
+	f.Add(int64(2), 24, 3, 3, 7, true)
+	f.Add(int64(3), 6, 2, 1, 1, false)
+	f.Add(int64(4), 40, 8, 4, 13, true)
+	f.Fuzz(func(t *testing.T, seed int64, maxTasks, maxData, workers, site int, prune bool) {
+		if maxTasks < 1 || maxTasks > 64 || maxData < 1 || maxData > 16 {
+			t.Skip()
+		}
+		if workers < 1 || workers > 5 || site < 0 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var g *stf.Graph
+		if seed%2 == 0 {
+			g = enginetest.RandomGraph(rng, maxTasks, maxData)
+		} else {
+			g = enginetest.RandomGraphWithReductions(rng, maxTasks, maxData)
+		}
+		block := 1 + rng.Intn(3)
+		m := func(id stf.TaskID) stf.WorkerID {
+			return stf.WorkerID(int(id) / block % workers)
+		}
+		var rel [][]bool
+		if prune {
+			rel = sched.Relevant(g, m, workers)
+		}
+		cp, err := stf.Compile(g, m, workers, rel)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		if rep := Certify(g, cp, Config{Mapping: m}); len(rep.Findings) != 0 {
+			t.Fatalf("fresh compile did not certify: %s", rep.Findings[0])
+		}
+
+		// Resume from a task-flow prefix (always dependency-closed).
+		c := &stf.Checkpoint{Tasks: len(g.Tasks), Completed: prefixIDs(site % (len(g.Tasks) + 1))}
+		resumed := stf.PruneCompleted(cp, c)
+		if rep := Certify(g, resumed, Config{Mapping: m, Resume: c}); len(rep.Findings) != 0 {
+			t.Fatalf("resumed program did not certify: %s", rep.Findings[0])
+		}
+
+		// Every applicable stream mutation must be rejected.
+		for _, mut := range faultinject.StreamMutations() {
+			if mut == faultinject.MutSplitResume {
+				if mutated, ok := faultinject.SplitResume(cp, c, site); ok {
+					if rep := Certify(g, mutated, Config{Mapping: m, Resume: c}); rep.Errors == 0 {
+						t.Fatalf("%s at site %d not rejected", mut, site)
+					}
+				}
+				continue
+			}
+			mutated, ok := faultinject.MutateStream(cp, mut, site)
+			if !ok {
+				continue
+			}
+			if rep := Certify(g, mutated, Config{Mapping: m}); rep.Errors == 0 {
+				t.Fatalf("%s at site %d not rejected", mut, site)
+			}
+		}
+	})
+}

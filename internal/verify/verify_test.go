@@ -1,0 +1,284 @@
+package verify
+
+import (
+	"testing"
+
+	"rio/internal/analyze"
+	"rio/internal/faultinject"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+func cyclic(workers int) stf.Mapping {
+	return func(id stf.TaskID) stf.WorkerID { return stf.WorkerID(int(id) % workers) }
+}
+
+func mustCompile(t *testing.T, g *stf.Graph, m stf.Mapping, workers int, prune bool) *stf.CompiledProgram {
+	t.Helper()
+	var rel [][]bool
+	if prune {
+		rel = sched.Relevant(g, m, workers)
+	}
+	cp, err := stf.Compile(g, m, workers, rel)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return cp
+}
+
+func assertClean(t *testing.T, rep *analyze.Report, what string) {
+	t.Helper()
+	if len(rep.Findings) != 0 {
+		t.Fatalf("%s: expected a clean certificate, got %d finding(s), first: %s",
+			what, len(rep.Findings), rep.Findings[0])
+	}
+}
+
+// TestCertifyWorkloadsClean certifies every shipped workload generator,
+// pruned and unpruned, under several mappings and worker counts.
+func TestCertifyWorkloadsClean(t *testing.T) {
+	workloads := []string{"lu", "cholesky", "gemm", "wavefront", "chain", "random"}
+	mappings := []string{"cyclic", "block", "blockcyclic:2", "single:0"}
+	for _, wl := range workloads {
+		g, err := analyze.WorkloadGraph(wl, 4, 42)
+		if err != nil {
+			t.Fatalf("workload %s: %v", wl, err)
+		}
+		for _, spec := range mappings {
+			for _, workers := range []int{1, 3} {
+				m, err := analyze.ParseMapping(spec, g, workers)
+				if err != nil {
+					t.Fatalf("mapping %s: %v", spec, err)
+				}
+				for _, prune := range []bool{false, true} {
+					cp := mustCompile(t, g, m, workers, prune)
+					rep := Certify(g, cp, Config{Mapping: m})
+					assertClean(t, rep, wl+"/"+spec)
+				}
+			}
+		}
+	}
+}
+
+// TestCertifyReductionsClean covers the reduction-run protocol paths:
+// runs of commuting accesses interleaved with reads and writes.
+func TestCertifyReductionsClean(t *testing.T) {
+	g := stf.NewGraph("red-runs", 2)
+	g.Add(0, 0, 0, 0, stf.W(0), stf.W(1))
+	g.Add(0, 0, 0, 0, stf.Red(0))
+	g.Add(0, 0, 0, 0, stf.Red(0), stf.R(1))
+	g.Add(0, 0, 0, 0, stf.Red(0))
+	g.Add(0, 0, 0, 0, stf.R(0))
+	g.Add(0, 0, 0, 0, stf.Red(0))
+	g.Add(0, 0, 0, 0, stf.RW(0), stf.Red(1))
+	for _, workers := range []int{1, 2, 3} {
+		m := cyclic(workers)
+		for _, prune := range []bool{false, true} {
+			cp := mustCompile(t, g, m, workers, prune)
+			assertClean(t, Certify(g, cp, Config{Mapping: m}), "red-runs")
+		}
+	}
+}
+
+// TestCertifyResumePruned certifies checkpoint-resumed programs,
+// including a chained (checkpoint-of-a-checkpoint) prune.
+func TestCertifyResumePruned(t *testing.T) {
+	g, err := analyze.WorkloadGraph("lu", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cyclic(3)
+	for _, prune := range []bool{false, true} {
+		cp := mustCompile(t, g, m, 3, prune)
+		// A task-flow prefix is always dependency-closed (every
+		// dependency has a smaller ID).
+		c1 := &stf.Checkpoint{Tasks: len(g.Tasks), Completed: prefixIDs(3)}
+		p1 := stf.PruneCompleted(cp, c1)
+		assertClean(t, Certify(g, p1, Config{Mapping: m, Resume: c1}), "resume")
+
+		// Chained: resume the resumed program from a later frontier.
+		// The certificate covers the union of the applied checkpoints.
+		c2 := &stf.Checkpoint{Tasks: len(g.Tasks), Completed: prefixIDs(7)}
+		p2 := stf.PruneCompleted(p1, c2)
+		assertClean(t, Certify(g, p2, Config{Mapping: m, Resume: c2}), "chained resume")
+	}
+}
+
+func prefixIDs(n int) []stf.TaskID {
+	out := make([]stf.TaskID, n)
+	for i := range out {
+		out[i] = stf.TaskID(i)
+	}
+	return out
+}
+
+// mutationGraph is the crafted flow the mutation-class table runs over:
+// two data objects, writer/reader pairs split across two workers, so
+// every defect class has an applicable and detectable site.
+func mutationGraph() (*stf.Graph, stf.Mapping) {
+	g := stf.NewGraph("mutation", 2)
+	g.Add(0, 0, 0, 0, stf.W(0)) // t0 → worker 0
+	g.Add(0, 0, 0, 0, stf.R(0)) // t1 → worker 1
+	g.Add(0, 0, 0, 0, stf.W(1)) // t2 → worker 0
+	g.Add(0, 0, 0, 0, stf.R(1)) // t3 → worker 1
+	return g, cyclic(2)
+}
+
+// TestMutationClassesFlagged seeds one defect of every class and asserts
+// the certifier rejects each with its class's distinct RIO-V00x code.
+func TestMutationClassesFlagged(t *testing.T) {
+	g, m := mutationGraph()
+	cp := mustCompile(t, g, m, 2, false)
+	assertClean(t, Certify(g, cp, Config{Mapping: m}), "unmutated baseline")
+
+	cases := []struct {
+		mut  faultinject.StreamMutation
+		site int
+		want analyze.Code
+	}{
+		{faultinject.MutCorruptOpcode, 0, analyze.CodeVerifyStructure},
+		{faultinject.MutDropExec, 0, analyze.CodeVerifyCoverage},
+		{faultinject.MutRetargetExec, 0, analyze.CodeVerifyOwnership},
+		{faultinject.MutReorderGroups, 0, analyze.CodeVerifyOrder},
+		{faultinject.MutRetargetData, 0, analyze.CodeVerifyAccessSet},
+		{faultinject.MutElideDeclares, 0, analyze.CodeVerifyElision},
+		// Site 2 drops t1's get_read on data 0: the wait that orders the
+		// reader after t0's write on the other worker.
+		{faultinject.MutDropWait, 2, analyze.CodeVerifyHappensBefore},
+	}
+	for _, tc := range cases {
+		mutated, ok := faultinject.MutateStream(cp, tc.mut, tc.site)
+		if !ok {
+			t.Errorf("%s: no mutation site on the crafted program", tc.mut)
+			continue
+		}
+		rep := Certify(g, mutated, Config{Mapping: m})
+		if rep.Errors == 0 {
+			t.Errorf("%s: mutation not rejected", tc.mut)
+			continue
+		}
+		if !rep.Has(tc.want) {
+			t.Errorf("%s: want %s, got findings: %v", tc.mut, tc.want, rep.Findings)
+		}
+	}
+
+	// The eighth class needs a checkpoint: prune one stream only.
+	c := &stf.Checkpoint{Tasks: len(g.Tasks), Completed: []stf.TaskID{0}}
+	mutated, ok := faultinject.SplitResume(cp, c, 0)
+	if !ok {
+		t.Fatal("split-resume: no mutation site")
+	}
+	rep := Certify(g, mutated, Config{Mapping: m, Resume: c})
+	if !rep.Has(analyze.CodeVerifyResume) {
+		t.Errorf("split-resume: want %s, got findings: %v", analyze.CodeVerifyResume, rep.Findings)
+	}
+}
+
+// TestMutationSiteSweep applies every class at every applicable site and
+// requires rejection each time — 100%% of seeded stream mutations.
+func TestMutationSiteSweep(t *testing.T) {
+	g, m := mutationGraph()
+	cp := mustCompile(t, g, m, 2, false)
+	for _, mut := range faultinject.StreamMutations() {
+		if mut == faultinject.MutSplitResume {
+			continue // driven via SplitResume below
+		}
+		for site := 0; site < 12; site++ {
+			mutated, ok := faultinject.MutateStream(cp, mut, site)
+			if !ok {
+				continue
+			}
+			if rep := Certify(g, mutated, Config{Mapping: m}); rep.Errors == 0 {
+				t.Errorf("%s at site %d: mutation not rejected", mut, site)
+			}
+		}
+	}
+	c := &stf.Checkpoint{Tasks: len(g.Tasks), Completed: []stf.TaskID{0, 1}}
+	for site := 0; site < 4; site++ {
+		mutated, ok := faultinject.SplitResume(cp, c, site)
+		if !ok {
+			continue
+		}
+		if rep := Certify(g, mutated, Config{Mapping: m, Resume: c}); rep.Errors == 0 {
+			t.Errorf("split-resume at site %d: mutation not rejected", site)
+		}
+	}
+}
+
+// TestCertifyRejectsBadInputs covers the structural V001/V007 paths that
+// don't come from stream mutations.
+func TestCertifyRejectsBadInputs(t *testing.T) {
+	g, m := mutationGraph()
+	cp := mustCompile(t, g, m, 2, false)
+
+	if rep := Certify(g, cp, Config{}); !rep.Has(analyze.CodeVerifyStructure) {
+		t.Errorf("nil mapping: want %s, got %v", analyze.CodeVerifyStructure, rep.Findings)
+	}
+	if rep := Certify(nil, cp, Config{Mapping: m}); !rep.Has(analyze.CodeVerifyStructure) {
+		t.Errorf("nil graph: want %s, got %v", analyze.CodeVerifyStructure, rep.Findings)
+	}
+	other := stf.NewGraph("other", 3)
+	if rep := Certify(other, cp, Config{Mapping: m}); !rep.Has(analyze.CodeVerifyStructure) {
+		t.Errorf("mismatched graph: want %s, got %v", analyze.CodeVerifyStructure, rep.Findings)
+	}
+	bad := func(stf.TaskID) stf.WorkerID { return 99 }
+	if rep := Certify(g, cp, Config{Mapping: bad}); !rep.Has(analyze.CodeVerifyStructure) {
+		t.Errorf("out-of-range mapping: want %s, got %v", analyze.CodeVerifyStructure, rep.Findings)
+	}
+
+	// A checkpoint that is not dependency-closed: task 1 reads what
+	// task 0 wrote, but only task 1 is marked completed.
+	c := &stf.Checkpoint{Tasks: len(g.Tasks), Completed: []stf.TaskID{1}}
+	pruned := stf.PruneCompleted(cp, c)
+	if rep := Certify(g, pruned, Config{Mapping: m, Resume: c}); !rep.Has(analyze.CodeVerifyResume) {
+		t.Errorf("open checkpoint: want %s, got %v", analyze.CodeVerifyResume, rep.Findings)
+	}
+}
+
+// TestCertifyCrossStreamDuplicateExec covers the duplicate-coverage path
+// the mutators don't hit: the same task executing on two workers.
+func TestCertifyCrossStreamDuplicateExec(t *testing.T) {
+	g, m := mutationGraph()
+	cp := mustCompile(t, g, m, 2, false)
+	mutated := faultinject.CloneProgram(cp)
+	// Graft t0's exec group onto worker 1's stream in place of its
+	// declare group (t0's group is first in both streams).
+	var ownedT0 []stf.Instr
+	for _, in := range cp.Streams[0] {
+		if in.Task == 0 {
+			ownedT0 = append(ownedT0, in)
+		}
+	}
+	var rest []stf.Instr
+	for _, in := range cp.Streams[1] {
+		if in.Task != 0 {
+			rest = append(rest, in)
+		}
+	}
+	mutated.Streams[1] = append(ownedT0, rest...)
+	rep := Certify(g, mutated, Config{Mapping: m})
+	if !rep.Has(analyze.CodeVerifyCoverage) {
+		t.Errorf("duplicate exec: want %s, got %v", analyze.CodeVerifyCoverage, rep.Findings)
+	}
+}
+
+// TestCertifyDeterministic pins that certification of the same inputs
+// yields byte-identical findings (report order is part of the contract).
+func TestCertifyDeterministic(t *testing.T) {
+	g, m := mutationGraph()
+	cp := mustCompile(t, g, m, 2, false)
+	mutated, ok := faultinject.MutateStream(cp, faultinject.MutElideDeclares, 0)
+	if !ok {
+		t.Fatal("no elision site")
+	}
+	a := Certify(g, mutated, Config{Mapping: m})
+	b := Certify(g, mutated, Config{Mapping: m})
+	if len(a.Findings) != len(b.Findings) {
+		t.Fatalf("finding counts differ: %d vs %d", len(a.Findings), len(b.Findings))
+	}
+	for i := range a.Findings {
+		if a.Findings[i] != b.Findings[i] {
+			t.Fatalf("finding %d differs: %v vs %v", i, a.Findings[i], b.Findings[i])
+		}
+	}
+}

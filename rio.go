@@ -349,6 +349,17 @@ type Options struct {
 	// or serializing mappings, malformed accesses) are caught at
 	// submission time instead. See PreflightAccess … PreflightAll.
 	Preflight PreflightPasses
+	// Verify runs translation validation (internal/verify) on every
+	// compiled-program cache miss of a caching Engine: the freshly
+	// compiled streams — and, with Resume set, their checkpoint-pruned
+	// form — are statically certified against the recorded graph
+	// (coverage, order, ownership, pruning soundness, happens-before)
+	// before they enter the cache. A failed certificate rejects the run
+	// with a *PreflightError carrying RIO-V00x findings. The cost is paid
+	// once per (engine, graph) pair; cache hits are untouched. Other
+	// runtimes and explicitly pre-compiled programs (Compile /
+	// RunCompiled) ignore it — certify those with rio.Verify directly.
+	Verify bool
 }
 
 // Runtime executes STF programs under one execution model.

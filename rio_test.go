@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"rio"
+	"rio/internal/analyze"
 	"rio/internal/enginetest"
+	"rio/internal/faultinject"
 	"rio/internal/graphs"
 	"rio/internal/sched"
 )
@@ -385,5 +387,59 @@ func TestPreflightPassesCleanProgramsThrough(t *testing.T) {
 	}
 	if err := enginetest.Check(rt, g); err != nil {
 		t.Error(err)
+	}
+}
+
+// Options.Verify: each compiled program is certified on the cache miss;
+// clean graphs run unchanged, later runs hit the cache and pay nothing.
+func TestVerifyOptionCertifiesOnCacheMiss(t *testing.T) {
+	e, err := rio.NewEngine(rio.Options{Workers: 3, Mapping: rio.CyclicMapping(3), Prune: true, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphs.LU(4)
+	noop := func(*rio.Task, rio.WorkerID) {}
+	for i := 0; i < 3; i++ {
+		if err := e.RunGraph(g, noop); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if hits, misses, _ := e.CacheStats(); misses != 1 || hits != 2 {
+		t.Errorf("cache stats = %d hits / %d misses, want 2 / 1", hits, misses)
+	}
+}
+
+// With Resume set, Verify also certifies the checkpoint-pruned form the
+// run will actually execute.
+func TestVerifyOptionWithResume(t *testing.T) {
+	g := graphs.LU(4)
+	c := &rio.Checkpoint{Tasks: len(g.Tasks), Completed: []rio.TaskID{0, 1, 2}}
+	e, err := rio.NewEngine(rio.Options{Workers: 2, Mapping: rio.CyclicMapping(2), Verify: true, Resume: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunGraph(g, func(*rio.Task, rio.WorkerID) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rio.Verify is the library surface of the certifier: a fresh compile
+// certifies clean, and a corrupted stream is rejected with a RIO-V code.
+func TestVerifyFunctionRejectsCorruptedStream(t *testing.T) {
+	g := graphs.GEMM(3)
+	cp, err := rio.Compile(g, 3, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := rio.Verify(g, cp, nil, nil); len(rep.Findings) != 0 {
+		t.Fatalf("clean compile rejected: %+v", rep.Findings)
+	}
+	mutated, ok := faultinject.MutateStream(cp, faultinject.MutDropExec, 0)
+	if !ok {
+		t.Fatal("no mutation site for MutDropExec")
+	}
+	rep := rio.Verify(g, mutated, nil, nil)
+	if !rep.Has(analyze.CodeVerifyCoverage) {
+		t.Fatalf("dropped exec not flagged as %s: %+v", analyze.CodeVerifyCoverage, rep.Findings)
 	}
 }
