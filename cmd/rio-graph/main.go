@@ -7,8 +7,15 @@
 //	rio-graph -workload random -size 200 -json     # JSON on stdout
 //	rio-graph -workload lu -size 6 -workers 4 -mapping owner
 //
-// Workloads: independent, random, gemm, lu, cholesky, wavefront.
-// Mappings: cyclic, block, owner (2-D block-cyclic owner-computes).
+// The -json output is the wire format of the rio-serve service: POST it
+// to /v1/flows verbatim. Workloads and mappings use the shared grammar
+// of internal/server/ingest (the same one rio-vet and the server
+// accept), so a flow built here is parsed, validated and identified —
+// the stats include the content hash the server assigns it — exactly as
+// a submission would be.
+//
+// Workloads: lu, cholesky, gemm, wavefront, chain, independent, random.
+// Mappings: cyclic, block, blockcyclic:B, single:W, owner (owner2d).
 package main
 
 import (
@@ -17,9 +24,8 @@ import (
 	"io"
 	"os"
 
-	"rio/internal/graphs"
 	"rio/internal/sched"
-	"rio/internal/stf"
+	"rio/internal/server/ingest"
 )
 
 func main() {
@@ -31,18 +37,18 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rio-graph", flag.ContinueOnError)
-	workload := fs.String("workload", "lu", "independent | random | gemm | lu | cholesky | wavefront")
+	workload := fs.String("workload", "lu", "lu | cholesky | gemm | wavefront | chain | independent | random")
 	size := fs.Int("size", 4, "workload size (tile count, task count, or grid side)")
 	workers := fs.Int("workers", 4, "worker count for mapping statistics")
-	mapping := fs.String("mapping", "owner", "cyclic | block | owner")
+	mapping := fs.String("mapping", "owner", "cyclic | block | blockcyclic:B | single:W | owner")
 	seed := fs.Int64("seed", 42, "seed for the random workload")
 	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of statistics")
-	jsonOut := fs.Bool("json", false, "emit JSON instead of statistics")
+	jsonOut := fs.Bool("json", false, "emit JSON (the rio-serve wire format) instead of statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	g, err := buildGraph(*workload, *size, *seed)
+	g, err := ingest.Workload(*workload, *size, *seed)
 	if err != nil {
 		return err
 	}
@@ -53,6 +59,14 @@ func run(args []string, out io.Writer) error {
 		return g.WriteJSON(out)
 	}
 
+	// Validate the (graph, workers, mapping) instance and derive its
+	// content identity through the exact path a server submission takes.
+	ms := &ingest.MappingSpec{Spec: *mapping}
+	sub, err := ingest.NewSubmission(g, ms, *workers)
+	if err != nil {
+		return err
+	}
+
 	s := g.Summarize()
 	fmt.Fprintf(out, "workload   %s\n", s.Name)
 	fmt.Fprintf(out, "tasks      %d\n", s.Tasks)
@@ -60,48 +74,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "edges      %d (%.2f deps/task)\n", s.Edges, s.AvgDeps)
 	fmt.Fprintf(out, "depth      %d (critical path in tasks)\n", s.Depth)
 	fmt.Fprintf(out, "max width  %d (peak available parallelism)\n", s.MaxWidth)
+	fmt.Fprintf(out, "flow id    %s (rio-serve content hash under mapping %s)\n", sub.Hash, ms.Canonical())
 
-	m, err := buildMapping(*mapping, g, *workers)
-	if err != nil {
-		return err
-	}
-	if err := sched.Validate(g, m, *workers); err != nil {
-		return err
-	}
+	m := sub.Mapping
 	fmt.Fprintf(out, "\nmapping %s over %d workers\n", *mapping, *workers)
 	fmt.Fprintf(out, "load histogram: %v\n", sched.Histogram(g, m, *workers))
 	rel := sched.Relevant(g, m, *workers)
 	fmt.Fprintf(out, "pruning: %.1f%% of per-worker bookkeeping removable (§3.5)\n",
 		100*sched.PruneRatio(rel))
 	return nil
-}
-
-func buildGraph(workload string, size int, seed int64) (*stf.Graph, error) {
-	switch workload {
-	case "independent":
-		return graphs.Independent(size), nil
-	case "random":
-		return graphs.RandomDeps(size, 128, 2, 1, seed), nil
-	case "gemm":
-		return graphs.GEMM(size), nil
-	case "lu":
-		return graphs.LU(size), nil
-	case "cholesky":
-		return graphs.Cholesky(size), nil
-	case "wavefront":
-		return graphs.Wavefront(size, size), nil
-	}
-	return nil, fmt.Errorf("unknown workload %q", workload)
-}
-
-func buildMapping(name string, g *stf.Graph, p int) (stf.Mapping, error) {
-	switch name {
-	case "cyclic":
-		return sched.Cyclic(p), nil
-	case "block":
-		return sched.Block(len(g.Tasks), p), nil
-	case "owner":
-		return sched.OwnerComputes(g, sched.NewGrid2D(p)), nil
-	}
-	return nil, fmt.Errorf("unknown mapping %q", name)
 }

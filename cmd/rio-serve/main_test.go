@@ -1,0 +1,92 @@
+package main
+
+// End-to-end smoke of the service binary's wiring: serve on an
+// ephemeral port, drive one submit/run/metrics round trip with the
+// exact bodies the README quickstart shows, then shut down via context
+// cancellation (the SIGTERM path minus the signal).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rio/internal/graphs"
+)
+
+func TestServeRoundTripAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-verify"}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	var buf bytes.Buffer
+	if err := graphs.LU(4).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/flows", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || info.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, info.ID)
+	}
+
+	resp, err = http.Post(base+"/v1/flows/"+info.ID+"/run", "application/json", strings.NewReader(`{"kernel":"spin"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d: %s", resp.StatusCode, raw)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(exposition), "rio_tasks_executed_total") {
+		t.Errorf("metrics exposition missing task counters:\n%s", exposition)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain after cancellation")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-no-such-flag"}, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

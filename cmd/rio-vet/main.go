@@ -31,6 +31,7 @@ import (
 
 	"rio/internal/analyze"
 	"rio/internal/sched"
+	"rio/internal/server/ingest"
 	"rio/internal/stf"
 	"rio/internal/verify"
 )
@@ -80,26 +81,26 @@ func run(args []string, out io.Writer) (reject bool, err error) {
 		return false, err
 	}
 
+	// Graph loading, mapping resolution and instance validation go
+	// through internal/server/ingest — the same path a rio-serve
+	// submission takes, so a flow this tool vets clean is accepted by
+	// the server byte-for-byte and vice versa.
 	var (
 		g       *stf.Graph
 		numData int
 		prog    stf.Program
+		mapping stf.Mapping
 	)
 	switch {
 	case *graphFile != "":
-		f, err := os.Open(*graphFile)
-		if err != nil {
-			return false, err
-		}
-		g, err = stf.ReadJSON(f)
-		f.Close()
+		g, err = ingest.LoadGraphFile(*graphFile)
 		if err != nil {
 			return false, err
 		}
 	case *workload == "nondet":
 		numData, prog = analyze.NondetDemo(1)
 	default:
-		g, err = analyze.WorkloadGraph(*workload, *size, *seed)
+		g, err = ingest.Workload(*workload, *size, *seed)
 		if err != nil {
 			return false, err
 		}
@@ -108,9 +109,11 @@ func run(args []string, out io.Writer) (reject bool, err error) {
 		numData = g.NumData
 		prog = stf.Replay(g, nil)
 	}
-
-	mapping, err := analyze.ParseMapping(*mapSpec, g, *workers)
-	if err != nil {
+	// The mapping resolves through the wire-format grammar only: strict
+	// instance validation (out-of-range mappings and the like) stays the
+	// mapping pass's job, reported as RIO-M00x findings with exit 1 —
+	// not a usage error — so seeded defects vet as defects.
+	if mapping, err = ingest.BuildMapping(*mapSpec, g, *workers); err != nil {
 		return false, err
 	}
 	cfg := analyze.Config{

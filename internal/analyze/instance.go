@@ -34,10 +34,12 @@ func WorkloadGraph(workload string, size int, seed int64) (*stf.Graph, error) {
 		return graphs.Wavefront(size, size), nil
 	case "chain":
 		return graphs.Chain(size), nil
+	case "independent":
+		return graphs.Independent(size), nil
 	case "random":
 		return graphs.RandomDeps(size, 4, 1, 1, seed), nil
 	}
-	return nil, fmt.Errorf("analyze: unknown workload %q (want lu|cholesky|gemm|wavefront|chain|random)", workload)
+	return nil, fmt.Errorf("analyze: unknown workload %q (want lu|cholesky|gemm|wavefront|chain|independent|random)", workload)
 }
 
 // ParseSizes parses a comma-separated list of RxC tile-grid sizes
@@ -106,7 +108,7 @@ func ParseMapping(mapSpec string, g *stf.Graph, p int) (stf.Mapping, error) {
 			w = v
 		}
 		return sched.Single(stf.WorkerID(w)), nil
-	case "owner2d":
+	case "owner2d", "owner":
 		if g == nil {
 			return nil, fmt.Errorf("analyze: mapping %q needs a task flow", mapSpec)
 		}

@@ -1,0 +1,277 @@
+// Package ingest is the single submission path shared by the rio-serve
+// service and the CLI tools (rio-vet, rio-graph): it parses the JSON
+// wire format — the graph form written by rio-graph and read by rio-vet,
+// optionally wrapped in an envelope that adds a mapping — validates the
+// (graph, workers, mapping) instance, preflights it through
+// internal/analyze, and derives the content hash that gives a graph a
+// stable identity across requests.
+//
+// The service and the tools parsing through one package is a protocol
+// guarantee, not a convenience: a flow that rio-vet vets clean is
+// accepted by the server byte-for-byte, and a flow the server rejects
+// can be reproduced and diagnosed locally with the same tools.
+package ingest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rio/internal/analyze"
+	"rio/internal/stf"
+)
+
+// MaxBodyBytes bounds a submission body. The server enforces it with
+// http.MaxBytesReader; Parse enforces it again for non-HTTP callers.
+const MaxBodyBytes = 32 << 20
+
+// MappingSpec is the wire form of a static task→worker mapping. Exactly
+// one of the fields may be set:
+//
+//   - Spec names a parametric mapping in the grammar the CLI tools use:
+//     cyclic | block | blockcyclic:B | single:W | owner2d.
+//   - Assign lists one worker per task (Assign[i] owns task i) — the
+//     fully explicit form, e.g. the output of an automap run.
+//
+// A nil *MappingSpec (or a zero one) means the cyclic default.
+//
+// On the wire the mapping is either the spec string directly
+// ("mapping": "blockcyclic:2") or the object form ({"spec": …} /
+// {"assign": […]}); UnmarshalJSON accepts both.
+type MappingSpec struct {
+	Spec   string `json:"spec,omitempty"`
+	Assign []int  `json:"assign,omitempty"`
+}
+
+// UnmarshalJSON accepts the shorthand string form alongside the object
+// form, so envelopes can say "mapping": "blockcyclic:2" the way every
+// CLI -mapping flag is written.
+func (ms *MappingSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		*ms = MappingSpec{Spec: s}
+		return nil
+	}
+	// Alias dodges recursion into this method.
+	type plain MappingSpec
+	var p plain
+	if err := json.Unmarshal(b, &p); err != nil {
+		return err
+	}
+	*ms = MappingSpec(p)
+	return nil
+}
+
+// IsDefault reports whether the spec denotes the cyclic default mapping
+// (nil, empty, or literally "cyclic"). Default-mapped submissions can
+// share a tenant engine's compiled-program cache directly.
+func (ms *MappingSpec) IsDefault() bool {
+	return ms == nil || (len(ms.Assign) == 0 && (ms.Spec == "" || ms.Spec == "cyclic"))
+}
+
+// Canonical is the stable text form of the spec used for hashing and
+// display: "cyclic" for the default, the spec string, or "assign:w0,w1,…"
+// for the explicit form.
+func (ms *MappingSpec) Canonical() string {
+	if ms.IsDefault() {
+		return "cyclic"
+	}
+	if len(ms.Assign) > 0 {
+		var b strings.Builder
+		b.WriteString("assign:")
+		for i, w := range ms.Assign {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", w)
+		}
+		return b.String()
+	}
+	return ms.Spec
+}
+
+// Build resolves the spec into a runnable mapping for g over workers,
+// validating it (explicit assignments must cover every task and stay in
+// [0, workers)). The parametric grammar is analyze.ParseMapping's — the
+// same one the CLI -mapping flags accept.
+func (ms *MappingSpec) Build(g *stf.Graph, workers int) (stf.Mapping, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("ingest: mapping needs a positive worker count (got %d)", workers)
+	}
+	if ms != nil && ms.Spec != "" && len(ms.Assign) > 0 {
+		return nil, errors.New("ingest: mapping declares both spec and assign; use one")
+	}
+	if ms != nil && len(ms.Assign) > 0 {
+		if g != nil && len(ms.Assign) != len(g.Tasks) {
+			return nil, fmt.Errorf("ingest: explicit mapping assigns %d tasks, flow has %d", len(ms.Assign), len(g.Tasks))
+		}
+		assign := make([]stf.WorkerID, len(ms.Assign))
+		for i, w := range ms.Assign {
+			if w < 0 || w >= workers {
+				return nil, fmt.Errorf("ingest: explicit mapping sends task %d to worker %d, out of range [0,%d)", i, w, workers)
+			}
+			assign[i] = stf.WorkerID(w)
+		}
+		return func(id stf.TaskID) stf.WorkerID {
+			if id < 0 || int(id) >= len(assign) {
+				return stf.SharedWorker
+			}
+			return assign[id]
+		}, nil
+	}
+	spec := "cyclic"
+	if ms != nil && ms.Spec != "" {
+		spec = ms.Spec
+	}
+	return analyze.ParseMapping(spec, g, workers)
+}
+
+// ExplicitSpec samples m over the tasks of g into the explicit wire form,
+// so any programmatic mapping can be shipped to the server losslessly.
+func ExplicitSpec(g *stf.Graph, m stf.Mapping) *MappingSpec {
+	assign := make([]int, len(g.Tasks))
+	for i := range g.Tasks {
+		assign[i] = int(m(stf.TaskID(i)))
+	}
+	return &MappingSpec{Assign: assign}
+}
+
+// Submission is one parsed, validated flow ready for preflight and
+// compilation.
+type Submission struct {
+	// Graph is the recorded task flow.
+	Graph *stf.Graph
+	// MappingSpec is the submission's mapping in wire form (nil = cyclic
+	// default); Mapping is its resolved, validated closure.
+	MappingSpec *MappingSpec
+	Mapping     stf.Mapping
+	// Workers is the worker count the instance was validated against.
+	Workers int
+	// Hash is the content identity of (graph, mapping): two submissions
+	// with equal hashes are the same program and may share one compiled
+	// form. Graph JSON is canonical (fixed field order, no maps), so the
+	// hash is stable across processes and machines.
+	Hash string
+}
+
+// envelope is the submit-body wire form: either a bare graph (exactly
+// the rio-graph -json output) or {"graph": …, "mapping": …}.
+type envelope struct {
+	Graph   json.RawMessage `json:"graph,omitempty"`
+	Mapping *MappingSpec    `json:"mapping,omitempty"`
+	// Tasks detects a bare-graph body: a graph object has a tasks field,
+	// an envelope does not.
+	Tasks json.RawMessage `json:"tasks,omitempty"`
+}
+
+// Parse reads one submission — a bare graph JSON document or an
+// envelope adding a mapping — validates the (graph, workers, mapping)
+// instance through the same analyze entry points the CLI tools use, and
+// computes its content hash.
+func Parse(r io.Reader, workers int) (*Submission, error) {
+	body, err := io.ReadAll(io.LimitReader(r, MaxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: reading submission: %w", err)
+	}
+	if len(body) > MaxBodyBytes {
+		return nil, fmt.Errorf("ingest: submission exceeds %d bytes", MaxBodyBytes)
+	}
+	var env envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return nil, fmt.Errorf("ingest: decoding submission: %w", err)
+	}
+	graphBytes := []byte(env.Graph)
+	if env.Graph == nil {
+		if env.Tasks == nil {
+			return nil, errors.New(`ingest: submission has neither "graph" nor "tasks"; POST a graph document or {"graph": …, "mapping": …}`)
+		}
+		graphBytes = body // bare graph body
+	}
+	g, err := stf.ReadJSON(strings.NewReader(string(graphBytes)))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	return NewSubmission(g, env.Mapping, workers)
+}
+
+// NewSubmission validates an already-parsed graph + mapping spec and
+// derives its hash — the non-HTTP entry used by tools that built the
+// graph in process.
+func NewSubmission(g *stf.Graph, ms *MappingSpec, workers int) (*Submission, error) {
+	m, err := ms.Build(g, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := analyze.ValidateInstance(g, workers, m); err != nil {
+		return nil, err
+	}
+	hash, err := Hash(g, ms)
+	if err != nil {
+		return nil, err
+	}
+	return &Submission{Graph: g, MappingSpec: ms, Mapping: m, Workers: workers, Hash: hash}, nil
+}
+
+// Hash returns the content identity of a (graph, mapping) pair: the
+// hex-encoded SHA-256 of the canonical graph serialization and the
+// canonical mapping form. Submitting the same flow twice — from
+// different clients, processes or machines — yields the same hash, which
+// is what lets a server compile it once and replay it for everyone.
+func Hash(g *stf.Graph, ms *MappingSpec) (string, error) {
+	h := sha256.New()
+	if err := g.WriteJSON(h); err != nil {
+		return "", fmt.Errorf("ingest: hashing graph: %w", err)
+	}
+	io.WriteString(h, "\x00mapping:")
+	io.WriteString(h, ms.Canonical())
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// Preflight runs the static-analysis passes over a validated submission
+// exactly as rio.Options.Preflight would before a run: findings of
+// Warning or worse reject it with a *analyze.PreflightError. The
+// returned report carries every finding either way.
+func Preflight(sub *Submission, passes analyze.Passes) (*analyze.Report, error) {
+	report := analyze.Graph(sub.Graph, analyze.Config{
+		Passes:  passes,
+		Workers: sub.Workers,
+		Mapping: sub.Mapping,
+		InOrder: true,
+	})
+	if report.Reject() {
+		return report, &analyze.PreflightError{Report: report}
+	}
+	return report, nil
+}
+
+// LoadGraphFile reads a bare graph JSON file (as written by rio-graph
+// -json) — the CLI half of the shared submission path.
+func LoadGraphFile(path string) (*stf.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return stf.ReadJSON(f)
+}
+
+// Workload builds one of the named generator workloads; the grammar is
+// analyze.WorkloadGraph's, shared by rio-vet, rio-graph and rio-serve's
+// test harness.
+func Workload(name string, size int, seed int64) (*stf.Graph, error) {
+	return analyze.WorkloadGraph(name, size, seed)
+}
+
+// BuildMapping resolves a CLI -mapping spec string for g over workers
+// (the parametric grammar of MappingSpec.Spec).
+func BuildMapping(spec string, g *stf.Graph, workers int) (stf.Mapping, error) {
+	return (&MappingSpec{Spec: spec}).Build(g, workers)
+}

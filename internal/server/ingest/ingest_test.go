@@ -1,0 +1,200 @@
+package ingest
+
+// Unit tests of the shared submission path: envelope vs bare-graph
+// parsing, mapping-spec resolution and validation, content-hash
+// stability (the mapping half of the wire format; the graph half's
+// round-trip fuzz lives in internal/stf).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rio/internal/analyze"
+	"rio/internal/graphs"
+	"rio/internal/stf"
+)
+
+func wire(t *testing.T, g *stf.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestParseBareGraph(t *testing.T) {
+	g := graphs.LU(3)
+	sub, err := Parse(bytes.NewReader(wire(t, g)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Graph.Tasks) != len(g.Tasks) || sub.Graph.NumData != g.NumData {
+		t.Errorf("parsed %d tasks/%d data, want %d/%d", len(sub.Graph.Tasks), sub.Graph.NumData, len(g.Tasks), g.NumData)
+	}
+	if !sub.MappingSpec.IsDefault() {
+		t.Error("bare graph did not default to the cyclic mapping")
+	}
+	if sub.Hash == "" {
+		t.Error("no content hash derived")
+	}
+}
+
+func TestParseEnvelopeWithMapping(t *testing.T) {
+	g := graphs.LU(3)
+	body := []byte(`{"graph":` + string(wire(t, g)) + `,"mapping":{"spec":"blockcyclic:2"}}`)
+	sub, err := Parse(bytes.NewReader(body), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.MappingSpec.Canonical(); got != "blockcyclic:2" {
+		t.Errorf("mapping = %q, want blockcyclic:2", got)
+	}
+
+	// The shorthand string form must parse to the same submission —
+	// same mapping, same identity — as the object form.
+	short, err := Parse(bytes.NewReader([]byte(`{"graph":`+string(wire(t, g))+`,"mapping":"blockcyclic:2"}`)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.MappingSpec.Canonical() != "blockcyclic:2" || short.Hash != sub.Hash {
+		t.Errorf("string-form mapping: canonical %q hash %q, want %q %q",
+			short.MappingSpec.Canonical(), short.Hash, "blockcyclic:2", sub.Hash)
+	}
+
+	bare, err := Parse(bytes.NewReader(wire(t, g)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Hash == bare.Hash {
+		t.Error("mapping is not part of the flow identity: envelope and bare hashes collide")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for name, body := range map[string]string{
+		"not json":        "{nope",
+		"no graph":        `{"mapping":{"spec":"cyclic"}}`,
+		"bad mode":        `{"name":"x","num_data":1,"tasks":[{"kernel":0,"accesses":[{"data":0,"mode":"X"}]}]}`,
+		"data oob":        `{"name":"x","num_data":1,"tasks":[{"kernel":0,"accesses":[{"data":9,"mode":"W"}]}]}`,
+		"both mappings":   `{"graph":{"name":"x","num_data":0,"tasks":[]},"mapping":{"spec":"block","assign":[0]}}`,
+		"assign mismatch": `{"graph":{"name":"x","num_data":1,"tasks":[{"kernel":0,"accesses":[{"data":0,"mode":"W"}]}]},"mapping":{"assign":[0,1]}}`,
+		"assign oob":      `{"graph":{"name":"x","num_data":1,"tasks":[{"kernel":0,"accesses":[{"data":0,"mode":"W"}]}]},"mapping":{"assign":[7]}}`,
+		"unknown spec":    `{"graph":{"name":"x","num_data":0,"tasks":[]},"mapping":{"spec":"warp"}}`,
+	} {
+		if _, err := Parse(strings.NewReader(body), 4); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	g := graphs.Cholesky(4)
+	h1, err := Hash(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hash(g, &MappingSpec{Spec: "cyclic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("nil and explicit-cyclic mapping specs hash differently")
+	}
+	// Same bytes parsed twice hash identically (the dedup property the
+	// server's flow table relies on).
+	s1, err := Parse(bytes.NewReader(wire(t, g)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(bytes.NewReader(wire(t, g)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Hash != s2.Hash {
+		t.Error("identical submissions hash differently")
+	}
+	if s1.Hash != h1 {
+		t.Error("Parse and Hash disagree on the same flow")
+	}
+}
+
+func TestExplicitSpecRoundTrip(t *testing.T) {
+	g := graphs.LU(3)
+	const workers = 3
+	m, err := BuildMapping("owner2d", g, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := ExplicitSpec(g, m)
+	got, err := ms.Build(g, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Tasks {
+		id := stf.TaskID(i)
+		if got(id) != m(id) {
+			t.Fatalf("task %d: explicit round-trip maps to %d, original to %d", i, got(id), m(id))
+		}
+	}
+	if !strings.HasPrefix(ms.Canonical(), "assign:") {
+		t.Errorf("canonical form = %q, want assign:…", ms.Canonical())
+	}
+}
+
+func TestNewSubmissionValidates(t *testing.T) {
+	g := graphs.LU(3)
+	if _, err := NewSubmission(g, nil, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewSubmission(g, &MappingSpec{Assign: []int{0}}, 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	sub, err := NewSubmission(g, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Workers != 2 || sub.Mapping == nil {
+		t.Errorf("submission not populated: %+v", sub)
+	}
+}
+
+func TestPreflightRejectsWarning(t *testing.T) {
+	// Read-before-first-write: the access lint warns, which rejects.
+	g := stf.NewGraph("bad", 1)
+	g.Add(0, 0, 0, 0, stf.R(0))
+	g.Add(0, 0, 0, 0, stf.W(0))
+	sub, err := NewSubmission(g, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Preflight(sub, analyze.PassAccess|analyze.PassMapping)
+	if err == nil {
+		t.Fatal("uninit-read flow passed preflight")
+	}
+	if report == nil || report.Warnings == 0 {
+		t.Error("rejection carries no warning findings")
+	}
+
+	clean, err := NewSubmission(graphs.LU(3), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Preflight(clean, analyze.PassAccess|analyze.PassMapping); err != nil {
+		t.Errorf("clean flow rejected: %v", err)
+	}
+}
+
+func TestWorkloadGrammarShared(t *testing.T) {
+	// The grammar is analyze.WorkloadGraph's — every workload the CLI
+	// tools accept must come through here too.
+	for _, wl := range []string{"lu", "cholesky", "gemm", "wavefront", "chain", "independent", "random"} {
+		if _, err := Workload(wl, 3, 1); err != nil {
+			t.Errorf("workload %s: %v", wl, err)
+		}
+	}
+	if _, err := Workload("warp", 3, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

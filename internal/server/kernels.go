@@ -1,0 +1,50 @@
+package server
+
+// Built-in kernels a run request may name. A graph submitted over the
+// wire carries task structure, not task bodies, so the server replays
+// it with a kernel from this registry (or from Config.Kernels for
+// embedders wiring real computations). The built-ins exercise the
+// synchronization skeleton at three cost profiles:
+//
+//	noop   zero-cost bodies — pure replay overhead, the paper's
+//	       fine-grained regime
+//	spin   CPU-bound busy work proportional to the task's weight
+//	       (Task.K, the field the automap treats as cost)
+//	sleep  off-CPU latency of Task.K milliseconds — blocking-regime
+//	       capacity tests without burning cores
+//
+// spin and sleep keep per-task cost small enough that the engines'
+// cooperative cancellation (between tasks) stays prompt under
+// Config.Timeout.
+
+import (
+	"time"
+
+	"rio"
+	"rio/internal/kernels"
+)
+
+// spinUnit is the busy-work iteration count per unit of task weight.
+const spinUnit = 1000
+
+func builtinKernels() map[string]rio.Kernel {
+	return map[string]rio.Kernel{
+		"noop": func(*rio.Task, rio.WorkerID) {},
+		"spin": func(t *rio.Task, _ rio.WorkerID) {
+			var cell uint64
+			kernels.Spin(&cell, uint64(weightOf(t))*spinUnit)
+		},
+		"sleep": func(t *rio.Task, _ rio.WorkerID) {
+			time.Sleep(time.Duration(weightOf(t)) * time.Millisecond)
+		},
+	}
+}
+
+// weightOf reads a task's cost weight (K, clamped to at least 1 so
+// weightless graphs still do observable work per task).
+func weightOf(t *rio.Task) int {
+	if t.K > 0 {
+		return t.K
+	}
+	return 1
+}

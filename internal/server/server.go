@@ -1,0 +1,587 @@
+// Package server is the rio-serve service: a long-running multi-tenant
+// HTTP front end over the caching rio.Engine. Clients POST task flows in
+// the JSON graph wire format (the form rio-graph writes and rio-vet
+// vets), the server preflights them through internal/analyze, compiles
+// each distinct (graph, mapping) once — certifying the streams when
+// Config.Verify is set — and serves repeated executions from the
+// compiled-program cache. This is the paper's compile-once/replay-many
+// design turned into a serving workload: graph setup is amortized across
+// every request that replays it.
+//
+// Layering (DESIGN.md §11): api (this package's handlers) → ingest
+// (internal/server/ingest, the submission path shared with the CLI
+// tools) → engine (one caching rio.Engine per tenant).
+//
+// Admission control: each tenant owns a bounded worker pool (its
+// engine's Config.Workers threads), a bounded submission queue, and one
+// executor goroutine that serializes runs on the engine (the engine's
+// cache surface is concurrent-safe; runs are not). A full queue answers
+// 429 with a Retry-After hint instead of queueing unboundedly; each
+// execution is bounded by Config.Timeout (rio.Options.Timeout on the
+// tenant engine); Drain stops admission with 503 and lets in-flight and
+// queued work finish.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"regexp"
+	"time"
+
+	"rio"
+	"rio/internal/analyze"
+	"rio/internal/server/ingest"
+)
+
+// Config parameterizes a Server. The zero value serves with the
+// defaults noted on each field.
+type Config struct {
+	// Workers is each tenant engine's worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds each tenant's submission queue; an execution
+	// request arriving at a full queue is rejected with 429 and a
+	// Retry-After hint rather than admitted (default 64).
+	QueueDepth int
+	// MaxTenants bounds the number of distinct tenants the server will
+	// lazily create engines for; beyond it, requests naming a new tenant
+	// get 503 (default 16).
+	MaxTenants int
+	// MaxFlows bounds the flows a tenant may keep registered; beyond it,
+	// new submissions get 507 until the tenant's flows are deleted
+	// (default 128).
+	MaxFlows int
+	// Timeout bounds each execution (rio.Options.Timeout on the tenant
+	// engines): a run exceeding it is canceled and the request answers
+	// 504 (default 30s; negative disables).
+	Timeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Preflight selects the static-analysis passes run over every new
+	// flow at submission; findings of Warning or worse reject it with
+	// 422 and the analysis report as the body (default
+	// access+mapping — the deterministic, cheap passes).
+	Preflight analyze.Passes
+	// Verify certifies compiled streams against their graph on every
+	// cache miss (translation validation, rio.Options.Verify).
+	Verify bool
+	// Prune applies §3.5 task pruning when compiling (rio.Options.Prune).
+	Prune bool
+	// Kernels adds named kernels to (or overrides) the built-in registry
+	// (noop, spin, sleep) that run requests select from.
+	Kernels map[string]rio.Kernel
+	// PublishExpvar publishes each tenant engine under the expvar name
+	// "rio.<tenant>" (/debug/vars). Off by default: expvar names are
+	// process-global and publishing twice panics, so only one Server per
+	// process may enable it.
+	PublishExpvar bool
+	// Logf receives the server's log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 16
+	}
+	if cfg.MaxFlows <= 0 {
+		cfg.MaxFlows = 128
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Timeout < 0 {
+		cfg.Timeout = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Preflight == 0 {
+		cfg.Preflight = analyze.PassAccess | analyze.PassMapping
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	return cfg
+}
+
+// TenantHeader names the tenant a request acts for; absent means
+// "default". Tenant names are lowercase [a-z0-9_-], at most 64 bytes.
+const TenantHeader = "X-Rio-Tenant"
+
+// DefaultTenant is the tenant of requests that send no TenantHeader.
+const DefaultTenant = "default"
+
+var tenantNameRE = regexp.MustCompile(`^[a-z0-9_-]{1,64}$`)
+
+// Server is the rio-serve HTTP service. Create one with New, mount
+// Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg     Config
+	kernels map[string]rio.Kernel
+	mux     *http.ServeMux
+
+	reg *registry // tenant table + draining state + drain bookkeeping
+}
+
+// New builds a Server from cfg (zero fields take the documented
+// defaults).
+func New(cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		cfg:     c,
+		kernels: builtinKernels(),
+		mux:     http.NewServeMux(),
+		reg:     newRegistry(c),
+	}
+	for name, k := range c.Kernels {
+		s.kernels[name] = k
+	}
+	s.mux.HandleFunc("POST /v1/flows", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/flows", s.handleListFlows)
+	s.mux.HandleFunc("GET /v1/flows/{id}", s.handleFlowInfo)
+	s.mux.HandleFunc("POST /v1/flows/{id}/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/run", s.handleSubmitRun)
+	s.mux.HandleFunc("GET /v1/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the service's HTTP handler (the /v1 API plus /metrics
+// and /healthz). Debug surfaces — pprof, expvar — are deliberately not
+// on it; cmd/rio-serve mounts them on a separate mux so deployments can
+// keep them off the client-facing listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully shuts the service down: new submissions and
+// executions are rejected with 503 from the moment it is called, queued
+// and in-flight executions run to completion, and Drain returns when the
+// last one finished. If ctx expires first, the remaining executions are
+// canceled (they unwind through the engines' cooperative cancellation)
+// and Drain returns ctx's error after they do.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.reg.drain(ctx)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.reg.draining.Load() }
+
+// tenantFor resolves the request's tenant, lazily creating its engine.
+// It writes the error response itself when it returns nil.
+func (s *Server) tenantFor(w http.ResponseWriter, r *http.Request) *tenant {
+	name := r.Header.Get(TenantHeader)
+	if name == "" {
+		name = DefaultTenant
+	}
+	if !tenantNameRE.MatchString(name) {
+		writeErr(w, http.StatusBadRequest, "bad tenant name %q (want lowercase [a-z0-9_-], at most 64 bytes)", name)
+		return nil
+	}
+	t, err := s.reg.tenant(name, s.cfg)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return nil
+	}
+	return t
+}
+
+// lookupTenant resolves the request's tenant without creating it (for
+// read-only surfaces like /metrics).
+func (s *Server) lookupTenant(w http.ResponseWriter, r *http.Request) *tenant {
+	name := r.Header.Get(TenantHeader)
+	if name == "" {
+		name = DefaultTenant
+	}
+	t := s.reg.lookup(name)
+	if t == nil {
+		writeErr(w, http.StatusNotFound, "unknown tenant %q (tenants exist once they submit a flow)", name)
+	}
+	return t
+}
+
+// flowInfo is the JSON description of a registered flow.
+type flowInfo struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Tasks   int    `json:"tasks"`
+	Data    int    `json:"data"`
+	Mapping string `json:"mapping"`
+	// Cached reports that the flow was already registered (the compiled
+	// program was reused, not rebuilt).
+	Cached bool `json:"cached"`
+	// Verified reports that the compiled streams carry a translation-
+	// validation certificate (Config.Verify).
+	Verified bool `json:"verified"`
+	// Runs counts completed executions of the flow.
+	Runs int64 `json:"runs"`
+	// Findings tallies the preflight report (informational findings do
+	// not reject).
+	Findings struct {
+		Errors   int `json:"errors"`
+		Warnings int `json:"warnings"`
+		Infos    int `json:"infos"`
+	} `json:"findings"`
+}
+
+func (s *Server) flowInfo(f *flow, cached bool) flowInfo {
+	info := flowInfo{
+		ID:       f.id,
+		Name:     f.sub.Graph.Name,
+		Tasks:    len(f.sub.Graph.Tasks),
+		Data:     f.sub.Graph.NumData,
+		Mapping:  f.sub.MappingSpec.Canonical(),
+		Cached:   cached,
+		Verified: s.cfg.Verify,
+		Runs:     f.runs.Load(),
+	}
+	if f.report != nil {
+		info.Findings.Errors = f.report.Errors
+		info.Findings.Warnings = f.report.Warnings
+		info.Findings.Infos = f.report.Infos
+	}
+	return info
+}
+
+// handleSubmit is POST /v1/flows: parse, validate, preflight and compile
+// one flow, registering it under its content hash.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	t := s.tenantFor(w, r)
+	if t == nil {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, ingest.MaxBodyBytes)
+	f, cached, err := s.submit(r.Context(), t, body)
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.flowInfo(f, cached))
+}
+
+// submit runs the shared submission path: ingest.Parse, flow-level
+// deduplication by content hash, and — for the first submitter of a new
+// hash — preflight plus one compile (and certification) through the
+// tenant engine's own singleflight. Concurrent submitters of the same
+// bytes converge on one canonical flow and therefore on one *rio.Graph,
+// which is what lets the engine's pointer-keyed cache record exactly one
+// miss however many clients raced the first submission.
+func (s *Server) submit(ctx context.Context, t *tenant, body io.Reader) (*flow, bool, error) {
+	sub, err := ingest.Parse(body, s.cfg.Workers)
+	if err != nil {
+		return nil, false, err
+	}
+	f, winner, err := t.register(sub)
+	if err != nil {
+		return nil, false, err
+	}
+	if winner {
+		f.report, f.err = ingest.Preflight(sub, s.cfg.Preflight)
+		if f.err == nil {
+			_, f.err = t.eng.Precompile(sub.Graph)
+		}
+		if f.err != nil {
+			t.unregister(f)
+		}
+		close(f.ready)
+	}
+	select {
+	case <-f.ready:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	return f, !winner, nil
+}
+
+// handleListFlows is GET /v1/flows.
+func (s *Server) handleListFlows(w http.ResponseWriter, r *http.Request) {
+	t := s.lookupTenant(w, r)
+	if t == nil {
+		return
+	}
+	flows := t.snapshot()
+	infos := make([]flowInfo, 0, len(flows))
+	for _, f := range flows {
+		infos = append(infos, s.flowInfo(f, true))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": t.name, "flows": infos})
+}
+
+// handleFlowInfo is GET /v1/flows/{id}.
+func (s *Server) handleFlowInfo(w http.ResponseWriter, r *http.Request) {
+	t := s.lookupTenant(w, r)
+	if t == nil {
+		return
+	}
+	f := t.lookup(r.PathValue("id"))
+	if f == nil {
+		writeErr(w, http.StatusNotFound, "unknown flow %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.flowInfo(f, true))
+}
+
+// runRequest is the optional body of POST /v1/flows/{id}/run and the
+// kernel half of POST /v1/run.
+type runRequest struct {
+	// Kernel names the task body to replay the flow with: one of the
+	// built-in kernels (noop, spin, sleep) or a Config.Kernels entry.
+	// Empty means noop — the pure synchronization skeleton.
+	Kernel string `json:"kernel,omitempty"`
+}
+
+// runResult is the JSON response of an execution.
+type runResult struct {
+	Flow   string `json:"flow"`
+	Kernel string `json:"kernel"`
+	// Executed is the number of tasks the run executed.
+	Executed int64 `json:"executed"`
+	// WallNS is the execution's wall time; QueueNS the time the request
+	// spent queued behind other executions.
+	WallNS  int64 `json:"wall_ns"`
+	QueueNS int64 `json:"queue_ns"`
+}
+
+// handleRun is POST /v1/flows/{id}/run: admission-controlled execution
+// of a registered flow.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	t := s.tenantFor(w, r)
+	if t == nil {
+		return
+	}
+	f := t.lookup(r.PathValue("id"))
+	if f == nil {
+		writeErr(w, http.StatusNotFound, "unknown flow %q", r.PathValue("id"))
+		return
+	}
+	s.execute(w, r, t, f, r.Body)
+}
+
+// handleSubmitRun is POST /v1/run: submit and execute in one request
+// (the body is the submit envelope, optionally carrying a kernel field).
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	t := s.tenantFor(w, r)
+	if t == nil {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, ingest.MaxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	f, _, err := s.submit(r.Context(), t, bytes.NewReader(body))
+	if err != nil {
+		writeSubmitErr(w, err)
+		return
+	}
+	s.execute(w, r, t, f, bytes.NewReader(body))
+}
+
+// execute resolves the kernel, admits the request into the tenant's
+// bounded queue (or answers 429), waits for the executor and writes the
+// result.
+func (s *Server) execute(w http.ResponseWriter, r *http.Request, t *tenant, f *flow, body io.Reader) {
+	var rr runRequest
+	if err := decodeOptionalJSON(body, &rr); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding run request: %v", err)
+		return
+	}
+	if rr.Kernel == "" {
+		rr.Kernel = "noop"
+	}
+	k, ok := s.kernels[rr.Kernel]
+	if !ok {
+		writeErr(w, http.StatusBadRequest, "unknown kernel %q", rr.Kernel)
+		return
+	}
+	req := &execReq{
+		flow:   f,
+		kernel: k,
+		name:   rr.Kernel,
+		ctx:    r.Context(),
+		queued: time.Now(),
+		done:   make(chan execResult, 1),
+	}
+	if !t.admit(req) {
+		// admit refuses for two reasons: a drain raced past the
+		// handler-entry check (503, like every other draining reject)
+		// or the queue is full (the 429 backpressure path).
+		if s.rejectDraining(w) {
+			return
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.RetryAfter)))
+		writeErr(w, http.StatusTooManyRequests,
+			"tenant %q submission queue is full (%d pending); retry later", t.name, cap(t.queue))
+		return
+	}
+	select {
+	case res := <-req.done:
+		if res.err != nil {
+			switch {
+			case errors.Is(res.err, context.DeadlineExceeded):
+				writeErr(w, http.StatusGatewayTimeout, "execution exceeded the %v request timeout: %v", s.cfg.Timeout, res.err)
+			case errors.Is(res.err, context.Canceled):
+				writeErr(w, http.StatusServiceUnavailable, "execution canceled: %v", res.err)
+			default:
+				writeErr(w, http.StatusInternalServerError, "execution failed: %v", res.err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, runResult{
+			Flow:     f.id,
+			Kernel:   rr.Kernel,
+			Executed: res.executed,
+			WallNS:   int64(res.wall),
+			QueueNS:  int64(res.queueWait),
+		})
+	case <-r.Context().Done():
+		// Client gone; the executor will observe the dead context and
+		// skip or cancel the run. Nothing useful can be written.
+	}
+}
+
+// progressInfo is the JSON response of GET /v1/progress: the engine's
+// always-on counters plus the admission and cache state that frames them.
+type progressInfo struct {
+	Tenant   string `json:"tenant"`
+	Draining bool   `json:"draining"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+	Flows    int    `json:"flows"`
+	Cache    struct {
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+		Entries int   `json:"entries"`
+	} `json:"cache"`
+	Progress rio.Progress `json:"progress"`
+}
+
+// handleProgress is GET /v1/progress.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	t := s.lookupTenant(w, r)
+	if t == nil {
+		return
+	}
+	info := progressInfo{
+		Tenant:   t.name,
+		Draining: s.Draining(),
+		QueueLen: len(t.queue),
+		QueueCap: cap(t.queue),
+		Flows:    len(t.snapshot()),
+		Progress: t.eng.Progress(),
+	}
+	info.Cache.Hits, info.Cache.Misses, info.Cache.Entries = t.eng.CacheStats()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleMetrics is GET /metrics: the tenant engine's Prometheus text
+// exposition (rio.MetricsHandler's format and error contract).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	t := s.lookupTenant(w, r)
+	if t == nil {
+		return
+	}
+	rio.MetricsHandler(t.eng).ServeHTTP(w, r)
+}
+
+// handleHealth is GET /healthz: 200 while serving, 503 once draining
+// (load balancers stop routing to a draining instance).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if s.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining; no new work admitted")
+		return true
+	}
+	return false
+}
+
+// writeSubmitErr maps submission-path errors to statuses: a preflight
+// rejection is 422 with the full analysis report as the body (the same
+// JSON rio-vet -json emits, so the rejection reproduces locally); any
+// other parse/validation error is 400.
+func writeSubmitErr(w http.ResponseWriter, err error) {
+	var pf *analyze.PreflightError
+	if errors.As(err, &pf) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		pf.Report.WriteJSON(w)
+		return
+	}
+	var full *flowTableFullError
+	if errors.As(err, &full) {
+		writeErr(w, http.StatusInsufficientStorage, "%v", err)
+		return
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeErr(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "%v", err)
+}
+
+// retryAfterSeconds rounds d up to whole seconds (Retry-After's unit),
+// minimum 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// decodeOptionalJSON decodes one JSON value into v, accepting an empty
+// body as the zero value and ignoring unknown fields (the one-shot run
+// body doubles as the submit envelope).
+func decodeOptionalJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,503 @@
+package server
+
+// Integration harness: httptest servers over real engines, driven the
+// way clients will drive rio-serve. The suite runs under -race in the
+// dedicated serve-integration CI job; the three acceptance properties
+// of the serving PR live here — N concurrent clients submitting the
+// same graph trigger exactly one compile (cache misses == 1),
+// submissions against a full queue get 429 with Retry-After, and a
+// too-slow execution is canceled into a 504 mid-request.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"context"
+
+	"rio/internal/graphs"
+	"rio/internal/stf"
+)
+
+// newTestServer starts an httptest server over cfg and returns it with
+// a cleanup that drains it.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, hs
+}
+
+// graphJSON serializes g to its wire form.
+func graphJSON(t *testing.T, g *stf.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// do issues one request with an optional tenant header and decodes the
+// JSON response body into out (when out is non-nil).
+func do(t *testing.T, method, url, tenant string, body []byte, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(raw))
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+	return resp
+}
+
+func submitFlow(t *testing.T, base, tenant string, g *stf.Graph) flowInfo {
+	t.Helper()
+	var info flowInfo
+	resp := do(t, "POST", base+"/v1/flows", tenant, graphJSON(t, g), &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	return info
+}
+
+func runFlow(t *testing.T, base, tenant, id, kernel string) runResult {
+	t.Helper()
+	var res runResult
+	body := []byte(nil)
+	if kernel != "" {
+		body = []byte(fmt.Sprintf(`{"kernel":%q}`, kernel))
+	}
+	resp := do(t, "POST", base+"/v1/flows/"+id+"/run", tenant, body, &res)
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("run: status %d: %s", resp.StatusCode, raw)
+	}
+	return res
+}
+
+func progressOf(t *testing.T, base, tenant string) progressInfo {
+	t.Helper()
+	var p progressInfo
+	resp := do(t, "GET", base+"/v1/progress", tenant, nil, &p)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("progress: status %d", resp.StatusCode)
+	}
+	return p
+}
+
+func TestSubmitRunRoundTrip(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2, Verify: true})
+	g := graphs.LU(4)
+
+	info := submitFlow(t, hs.URL, "", g)
+	if info.Cached {
+		t.Error("first submission reported cached")
+	}
+	if info.Tasks != len(g.Tasks) || info.Data != g.NumData {
+		t.Errorf("flow info %+v does not match the graph (%d tasks, %d data)", info, len(g.Tasks), g.NumData)
+	}
+	if !info.Verified {
+		t.Error("flow not verified despite Config.Verify")
+	}
+
+	// Resubmitting the same bytes is a flow-level cache hit.
+	again := submitFlow(t, hs.URL, "", g)
+	if !again.Cached || again.ID != info.ID {
+		t.Errorf("resubmission: cached=%v id=%q, want cached=true id=%q", again.Cached, again.ID, info.ID)
+	}
+
+	for i := 0; i < 3; i++ {
+		res := runFlow(t, hs.URL, "", info.ID, "")
+		if res.Executed != int64(len(g.Tasks)) {
+			t.Fatalf("run %d executed %d tasks, want %d", i, res.Executed, len(g.Tasks))
+		}
+	}
+
+	p := progressOf(t, hs.URL, "")
+	if p.Cache.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1 (one compile serving every replay)", p.Cache.Misses)
+	}
+	if p.Cache.Entries != 1 || p.Flows != 1 {
+		t.Errorf("entries/flows = %d/%d, want 1/1", p.Cache.Entries, p.Flows)
+	}
+	if got := p.Progress.Executed(); got != int64(len(g.Tasks)) {
+		t.Errorf("progress executed = %d, want %d (last run's counters)", got, len(g.Tasks))
+	}
+}
+
+// TestConcurrentSubmitSingleCompile is the acceptance property of the
+// admission path: N concurrent clients submitting the same graph bytes
+// must converge on one flow and exactly one compile+certify.
+func TestConcurrentSubmitSingleCompile(t *testing.T) {
+	const clients = 16
+	_, hs := newTestServer(t, Config{Workers: 2, Verify: true})
+	wire := graphJSON(t, graphs.Cholesky(5))
+
+	var (
+		wg    sync.WaitGroup
+		gate  = make(chan struct{})
+		infos [clients]flowInfo
+	)
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			resp := do(t, "POST", hs.URL+"/v1/flows", "", wire, &infos[i])
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i := 1; i < clients; i++ {
+		if infos[i].ID != infos[0].ID {
+			t.Fatalf("client %d got flow %q, client 0 got %q", i, infos[i].ID, infos[0].ID)
+		}
+	}
+	fresh := 0
+	for i := range infos {
+		if !infos[i].Cached {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Errorf("%d clients compiled fresh, want exactly 1 winner", fresh)
+	}
+	p := progressOf(t, hs.URL, "")
+	if p.Cache.Misses != 1 {
+		t.Errorf("cache misses = %d, want exactly 1 under %d concurrent submitters", p.Cache.Misses, clients)
+	}
+	if p.Flows != 1 {
+		t.Errorf("flows = %d, want 1", p.Flows)
+	}
+
+	// And the shared program runs for everyone.
+	res := runFlow(t, hs.URL, "", infos[0].ID, "spin")
+	if res.Executed == 0 {
+		t.Error("run executed no tasks")
+	}
+}
+
+// TestConcurrentTenants drives separate tenants concurrently through
+// submit/run/progress: engines, queues and caches must be isolated.
+func TestConcurrentTenants(t *testing.T) {
+	const tenants = 4
+	_, hs := newTestServer(t, Config{Workers: 2})
+	g := graphs.LU(4)
+	wire := graphJSON(t, g)
+
+	var wg sync.WaitGroup
+	wg.Add(tenants)
+	for i := 0; i < tenants; i++ {
+		go func(i int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("team-%d", i)
+			var info flowInfo
+			resp := do(t, "POST", hs.URL+"/v1/flows", tenant, wire, &info)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%s: submit status %d", tenant, resp.StatusCode)
+				return
+			}
+			for r := 0; r < 3; r++ {
+				res := runFlow(t, hs.URL, tenant, info.ID, "noop")
+				if res.Executed != int64(len(g.Tasks)) {
+					t.Errorf("%s: run %d executed %d, want %d", tenant, r, res.Executed, len(g.Tasks))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < tenants; i++ {
+		p := progressOf(t, hs.URL, fmt.Sprintf("team-%d", i))
+		if p.Cache.Misses != 1 {
+			t.Errorf("tenant %d: misses = %d, want 1 (per-tenant cache, one compile each)", i, p.Cache.Misses)
+		}
+	}
+}
+
+// TestQueueBackpressure is the 429 acceptance property: with a queue of
+// depth 1, a request arriving while one run executes and another waits
+// must be rejected with 429 and a Retry-After hint, and the queued work
+// must still complete.
+func TestQueueBackpressure(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	// ~300ms of off-CPU work per run: long enough to hold the queue
+	// while the rejected request is issued.
+	g := graphs.Chain(300)
+	info := submitFlow(t, hs.URL, "", g)
+
+	results := make(chan runResult, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			results <- runFlow(t, hs.URL, "", info.ID, "sleep")
+		}()
+	}
+	// Wait until one run executes and the other occupies the queue.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p := progressOf(t, hs.URL, "")
+		if p.QueueLen >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp := do(t, "POST", hs.URL+"/v1/flows/"+info.ID+"/run", "", []byte(`{"kernel":"sleep"}`), nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 against a full queue", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want %q", ra, "2")
+	}
+
+	for i := 0; i < 2; i++ {
+		res := <-results
+		if res.Executed != int64(len(g.Tasks)) {
+			t.Errorf("admitted run executed %d tasks, want %d", res.Executed, len(g.Tasks))
+		}
+	}
+}
+
+// TestRequestTimeout is the mid-request-timeout acceptance property: an
+// execution exceeding Config.Timeout is canceled cooperatively and the
+// request answers 504.
+func TestRequestTimeout(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2, Timeout: 100 * time.Millisecond})
+	// 2ms sleeps × 400 tasks ≈ 800ms of work against a 100ms budget.
+	g := stf.NewGraph("slow", 1)
+	for i := 0; i < 400; i++ {
+		g.Add(0, 0, 0, 2, stf.RW(0))
+	}
+	info := submitFlow(t, hs.URL, "", g)
+
+	start := time.Now()
+	resp := do(t, "POST", hs.URL+"/v1/flows/"+info.ID+"/run", "", []byte(`{"kernel":"sleep"}`), nil)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d, want 504: %s", resp.StatusCode, raw)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v to fire; cancellation is not prompt", elapsed)
+	}
+	// The engine must be healthy after the canceled run.
+	fast := submitFlow(t, hs.URL, "", graphs.Chain(8))
+	if res := runFlow(t, hs.URL, "", fast.ID, "noop"); res.Executed != 8 {
+		t.Errorf("post-timeout run executed %d, want 8", res.Executed)
+	}
+}
+
+// TestDrain exercises graceful shutdown: once Drain is called, new work
+// is 503 and health flips, but the in-flight run finishes.
+func TestDrain(t *testing.T) {
+	s, hs := newTestServer(t, Config{Workers: 2})
+	g := graphs.Chain(200) // ~200ms under the sleep kernel
+	info := submitFlow(t, hs.URL, "", g)
+
+	done := make(chan runResult, 1)
+	go func() { done <- runFlow(t, hs.URL, "", info.ID, "sleep") }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !progressOf(t, hs.URL, "").Progress.Running {
+		if time.Now().After(deadline) {
+			t.Fatal("run never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	if resp := do(t, "POST", hs.URL+"/v1/flows", "", graphJSON(t, graphs.Chain(4)), nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	if resp := do(t, "GET", hs.URL+"/healthz", "", nil, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+
+	res := <-done
+	if res.Executed != int64(len(g.Tasks)) {
+		t.Errorf("in-flight run executed %d tasks, want %d (drain must not cancel it)", res.Executed, len(g.Tasks))
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+
+	if resp := do(t, "POST", hs.URL+"/v1/flows", "", []byte("{not json"), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	// Uninitialized read (a read before the flow's first write of the
+	// data): the access lint reports a Warning, which rejects with 422
+	// and the analysis report as the body — the same report rio-vet
+	// would print for the same flow.
+	bad := []byte(`{"name":"bad","num_data":1,"tasks":[{"kernel":0,"accesses":[{"data":0,"mode":"R"}]},{"kernel":0,"accesses":[{"data":0,"mode":"W"}]}]}`)
+	var report struct {
+		Findings []struct {
+			Code string `json:"code"`
+		} `json:"findings"`
+	}
+	resp := do(t, "POST", hs.URL+"/v1/flows", "", bad, &report)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("uninit-read flow: status %d, want 422", resp.StatusCode)
+	}
+	if len(report.Findings) == 0 {
+		t.Error("422 body carries no findings")
+	}
+
+	// A rejected flow is not registered: it must not shadow later
+	// submissions or be runnable.
+	if resp := do(t, "GET", hs.URL+"/v1/flows", "", nil, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+	p := progressOf(t, hs.URL, "")
+	if p.Flows != 0 {
+		t.Errorf("rejected flow stayed registered (flows = %d)", p.Flows)
+	}
+
+	if resp := do(t, "POST", hs.URL+"/v1/flows", "bad tenant!", graphJSON(t, graphs.Chain(2)), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad tenant name: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+	info := submitFlow(t, hs.URL, "", graphs.Chain(4))
+
+	if resp := do(t, "POST", hs.URL+"/v1/flows/nope/run", "", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown flow: status %d, want 404", resp.StatusCode)
+	}
+	if resp := do(t, "POST", hs.URL+"/v1/flows/"+info.ID+"/run", "", []byte(`{"kernel":"warp"}`), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown kernel: status %d, want 400", resp.StatusCode)
+	}
+	if resp := do(t, "GET", hs.URL+"/metrics", "ghost", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("metrics of unknown tenant: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestOneShotRunWithMapping(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+	g := graphs.LU(3)
+	envelope := map[string]any{
+		"graph":   json.RawMessage(graphJSON(t, g)),
+		"mapping": map[string]any{"spec": "blockcyclic:2"},
+		"kernel":  "spin",
+	}
+	body, err := json.Marshal(envelope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res runResult
+	resp := do(t, "POST", hs.URL+"/v1/run", "", body, &res)
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("one-shot run: status %d: %s", resp.StatusCode, raw)
+	}
+	if res.Executed != int64(len(g.Tasks)) {
+		t.Errorf("executed %d tasks, want %d", res.Executed, len(g.Tasks))
+	}
+	if res.Kernel != "spin" {
+		t.Errorf("kernel = %q, want spin", res.Kernel)
+	}
+
+	// The mapping is part of the flow identity: the same graph under the
+	// default mapping is a different flow (and a second compile).
+	var info flowInfo
+	if resp := do(t, "POST", hs.URL+"/v1/flows", "", graphJSON(t, g), &info); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if info.Cached {
+		t.Error("default-mapping flow aliased the blockcyclic one")
+	}
+	p := progressOf(t, hs.URL, "")
+	if p.Flows != 2 || p.Cache.Misses != 2 {
+		t.Errorf("flows/misses = %d/%d, want 2/2 (one compile per distinct mapping)", p.Flows, p.Cache.Misses)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2})
+	info := submitFlow(t, hs.URL, "", graphs.Chain(8))
+	runFlow(t, hs.URL, "", info.ID, "noop")
+
+	resp := do(t, "GET", hs.URL+"/metrics", "", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want the Prometheus exposition type", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	for _, want := range []string{"rio_run_running", "rio_tasks_executed_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition is missing %q", want)
+		}
+	}
+}
+
+func TestFlowTableBound(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 2, MaxFlows: 2})
+	for n := 2; n <= 3; n++ {
+		code := do(t, "POST", hs.URL+"/v1/flows", "", graphJSON(t, graphs.Chain(n)), nil).StatusCode
+		if code != http.StatusOK {
+			t.Fatalf("chain(%d): status %d", n, code)
+		}
+	}
+	if code := do(t, "POST", hs.URL+"/v1/flows", "", graphJSON(t, graphs.Chain(4)), nil).StatusCode; code != http.StatusInsufficientStorage {
+		t.Errorf("third flow: status %d, want 507 at MaxFlows", code)
+	}
+}
+
+func TestTenantTableBound(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1, MaxTenants: 1})
+	submitFlow(t, hs.URL, "solo", graphs.Chain(2))
+	if code := do(t, "POST", hs.URL+"/v1/flows", "intruder", graphJSON(t, graphs.Chain(2)), nil).StatusCode; code != http.StatusServiceUnavailable {
+		t.Errorf("second tenant: status %d, want 503 at MaxTenants", code)
+	}
+}

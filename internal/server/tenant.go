@@ -1,0 +1,330 @@
+package server
+
+// The tenant layer: one caching rio.Engine, one bounded submission
+// queue and one executor goroutine per tenant. The executor is the only
+// goroutine that calls RunCompiledContext on the tenant's engine — the
+// engine's cache surface (Precompile, CacheStats, Progress) is safe for
+// concurrent use, but runs are not, so serialization through the queue
+// is what makes the whole service safe. Admission is the try-send on
+// the bounded queue: a full queue rejects instead of blocking, which is
+// the 429 backpressure path.
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rio"
+	"rio/internal/analyze"
+	"rio/internal/server/ingest"
+)
+
+// flow is one registered (graph, mapping) pair: the parsed submission,
+// its preflight report, and the singleflight gate the first submitter
+// closes once preflight + compile finished. The compiled program itself
+// lives in the tenant engine's cache, keyed by the canonical *Graph.
+type flow struct {
+	id  string // ingest content hash
+	sub *ingest.Submission
+
+	// ready is closed by the registering submitter once report/err are
+	// set; concurrent submitters of the same hash wait on it.
+	ready  chan struct{}
+	report *analyze.Report
+	err    error
+
+	runs atomic.Int64
+}
+
+// flowTableFullError rejects a submission when the tenant's flow table
+// is at Config.MaxFlows.
+type flowTableFullError struct {
+	tenant string
+	limit  int
+}
+
+func (e *flowTableFullError) Error() string {
+	return fmt.Sprintf("tenant %q flow table is full (%d flows registered)", e.tenant, e.limit)
+}
+
+// execReq is one admitted execution request, handed from the HTTP
+// handler to the tenant's executor through the bounded queue.
+type execReq struct {
+	flow   *flow
+	kernel rio.Kernel
+	name   string
+	ctx    context.Context // the HTTP request's context
+	queued time.Time
+	done   chan execResult // buffered(1): the executor never blocks on it
+}
+
+type execResult struct {
+	err       error
+	executed  int64
+	wall      time.Duration
+	queueWait time.Duration
+}
+
+type tenant struct {
+	name string
+	eng  *rio.Engine
+	reg  *registry
+
+	mu    sync.Mutex
+	flows map[string]*flow
+
+	queue chan *execReq
+}
+
+// register inserts sub's flow into the tenant's table, or returns the
+// already-registered flow for its hash. winner reports whether the
+// caller registered it and therefore owns preflight + compile (and must
+// close f.ready, unregistering on failure).
+func (t *tenant) register(sub *ingest.Submission) (f *flow, winner bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.flows[sub.Hash]; ok {
+		return f, false, nil
+	}
+	if len(t.flows) >= t.reg.cfg.MaxFlows {
+		return nil, false, &flowTableFullError{tenant: t.name, limit: t.reg.cfg.MaxFlows}
+	}
+	f = &flow{id: sub.Hash, sub: sub, ready: make(chan struct{})}
+	t.flows[sub.Hash] = f
+	return f, true, nil
+}
+
+// unregister removes a flow whose preflight or compile failed, so a
+// corrected resubmission is not shadowed by the failed attempt.
+func (t *tenant) unregister(f *flow) {
+	t.mu.Lock()
+	if t.flows[f.id] == f {
+		delete(t.flows, f.id)
+	}
+	t.mu.Unlock()
+}
+
+// lookup returns the ready flow registered under id, nil if absent or
+// still (or terminally) unready. Waiting for readiness is the submit
+// path's job; by the time a client holds an id, its flow is ready.
+func (t *tenant) lookup(id string) *flow {
+	t.mu.Lock()
+	f := t.flows[id]
+	t.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	select {
+	case <-f.ready:
+		if f.err != nil {
+			return nil
+		}
+		return f
+	default:
+		return nil
+	}
+}
+
+// snapshot returns the tenant's ready flows, ordered by id for stable
+// listings.
+func (t *tenant) snapshot() []*flow {
+	t.mu.Lock()
+	flows := make([]*flow, 0, len(t.flows))
+	for _, f := range t.flows {
+		select {
+		case <-f.ready:
+			if f.err == nil {
+				flows = append(flows, f)
+			}
+		default:
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+	return flows
+}
+
+// admit try-sends req onto the bounded queue. False means the request
+// was not admitted — the queue is full (429) or the registry started
+// draining (503; the caller distinguishes via Draining()). An admitted
+// request is counted in the registry's drain WaitGroup until its
+// execution (or skip) finishes. The flag check and the Add share the
+// registry lock with drain's flag flip, so every Add happens before
+// the flip — and hence before drain's Wait — or observes the flag and
+// rejects: no admitted request can slip past the drain barrier.
+func (t *tenant) admit(req *execReq) bool {
+	r := t.reg
+	r.mu.Lock()
+	if r.draining.Load() {
+		r.mu.Unlock()
+		return false
+	}
+	r.inflight.Add(1)
+	r.mu.Unlock()
+	select {
+	case t.queue <- req:
+		return true
+	default:
+		r.inflight.Done()
+		return false
+	}
+}
+
+// executor serializes the tenant's executions. It exits when the
+// registry's stopped channel closes, which drain only does after every
+// admitted request completed — so a queued request is never abandoned.
+func (t *tenant) executor() {
+	defer t.reg.executors.Done()
+	for {
+		select {
+		case req := <-t.queue:
+			t.execute(req)
+			t.reg.inflight.Done()
+		case <-t.reg.stopped:
+			return
+		}
+	}
+}
+
+// execute runs one admitted request on the tenant engine. The run
+// context is the client's request context; the registry's abort context
+// (armed when a Drain deadline expires) cancels it too, and the engine
+// adds Config.Timeout on top (rio.Options.Timeout). Execution runs
+// under pprof labels naming the tenant and flow, so CPU profiles of the
+// serving process split by tenant.
+func (t *tenant) execute(req *execReq) {
+	queueWait := time.Since(req.queued)
+	if req.ctx.Err() != nil {
+		req.done <- execResult{err: req.ctx.Err(), queueWait: queueWait}
+		return
+	}
+	runCtx, cancel := context.WithCancel(req.ctx)
+	stop := context.AfterFunc(t.reg.abortCtx, cancel)
+	defer stop()
+	defer cancel()
+
+	var err error
+	start := time.Now()
+	pprof.Do(runCtx, pprof.Labels("rio_tenant", t.name, "rio_flow", req.flow.id, "rio_kernel", req.name), func(ctx context.Context) {
+		err = t.eng.RunGraphContext(ctx, req.flow.sub.Graph, req.kernel)
+	})
+	wall := time.Since(start)
+	res := execResult{err: err, wall: wall, queueWait: queueWait}
+	if err == nil {
+		req.flow.runs.Add(1)
+		p := t.eng.Progress()
+		res.executed = p.Executed()
+	}
+	req.done <- res
+}
+
+// registry owns the tenant table and the drain protocol.
+type registry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+
+	draining atomic.Bool
+	// inflight counts admitted execution requests; drain waits on it.
+	inflight sync.WaitGroup
+	// executors counts executor goroutines; they exit when stopped
+	// closes.
+	executors sync.WaitGroup
+	stopped   chan struct{}
+	// abortCtx is canceled when a Drain deadline expires: every running
+	// execution's context descends from it.
+	abortCtx context.Context
+	abort    context.CancelFunc
+
+	drainOnce sync.Once
+	drainErr  error
+}
+
+func newRegistry(cfg Config) *registry {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &registry{
+		cfg:      cfg,
+		tenants:  make(map[string]*tenant),
+		stopped:  make(chan struct{}),
+		abortCtx: ctx,
+		abort:    cancel,
+	}
+}
+
+// tenant returns the named tenant, lazily creating its engine, queue
+// and executor, bounded by Config.MaxTenants.
+func (r *registry) tenant(name string, cfg Config) (*tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.tenants[name]; ok {
+		return t, nil
+	}
+	if len(r.tenants) >= cfg.MaxTenants {
+		return nil, fmt.Errorf("tenant table is full (%d tenants); tenant %q not admitted", cfg.MaxTenants, name)
+	}
+	eng, err := rio.NewEngine(rio.Options{
+		Workers: cfg.Workers,
+		Timeout: cfg.Timeout,
+		Verify:  cfg.Verify,
+		Prune:   cfg.Prune,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("creating engine for tenant %q: %w", name, err)
+	}
+	t := &tenant{
+		name:  name,
+		eng:   eng,
+		reg:   r,
+		flows: make(map[string]*flow),
+		queue: make(chan *execReq, cfg.QueueDepth),
+	}
+	if cfg.PublishExpvar {
+		rio.PublishExpvar("rio."+name, eng)
+	}
+	r.tenants[name] = t
+	r.executors.Add(1)
+	go t.executor()
+	cfg.Logf("rio-serve: tenant %q admitted (%d workers, queue %d)", name, cfg.Workers, cfg.QueueDepth)
+	return t, nil
+}
+
+func (r *registry) lookup(name string) *tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenants[name]
+}
+
+// drain implements Server.Drain: flip the draining flag (handlers
+// reject new work), wait for admitted requests, cancel them if ctx
+// expires first, then stop the executors.
+func (r *registry) drain(ctx context.Context) error {
+	r.drainOnce.Do(func() {
+		// The flag flips under the registry lock (see admit): once the
+		// store is visible, no admission can add to inflight, so the
+		// Wait below covers every request the queues will ever hold.
+		r.mu.Lock()
+		r.draining.Store(true)
+		r.mu.Unlock()
+		done := make(chan struct{})
+		go func() {
+			r.inflight.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			r.abort() // cancel running executions; they unwind cooperatively
+			<-done
+			r.drainErr = ctx.Err()
+		}
+		close(r.stopped)
+		r.executors.Wait()
+		r.cfg.Logf("rio-serve: drained")
+	})
+	return r.drainErr
+}

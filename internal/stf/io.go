@@ -55,7 +55,14 @@ func ReadJSON(r io.Reader) (*Graph, error) {
 	}
 	g := NewGraph(jg.Name, jg.NumData)
 	for i, jt := range jg.Tasks {
-		accesses := make([]Access, 0, len(jt.Accesses))
+		// Allocate only for non-empty access lists: WriteJSON omits empty
+		// ones (omitempty), so a non-nil empty slice here would make
+		// parse→serialize→parse not a fixed point — a wire-protocol
+		// asymmetry the round-trip fuzz test pins down.
+		var accesses []Access
+		if len(jt.Accesses) > 0 {
+			accesses = make([]Access, 0, len(jt.Accesses))
+		}
 		for _, ja := range jt.Accesses {
 			mode, err := parseMode(ja.Mode)
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime/pprof"
 
@@ -32,15 +33,45 @@ func WriteMetrics(w io.Writer, p Progress) error {
 //
 // The counters reset when a new run starts (each run publishes a fresh
 // table); scrapers see per-run progressions, not process-lifetime totals.
+//
+// Write errors are surfaced, not swallowed: an error before the first
+// byte reaches the client becomes a 500 (the scrape visibly failed,
+// instead of an empty 200 the scraper would record as "no samples");
+// an error after the first byte — the status line is already on the
+// wire — is logged, so a half-written exposition never passes silently.
 func MetricsHandler(rt Runtime) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		p := rt.Progress()
-		if err := trace.WriteMetrics(w, p); err != nil {
-			// Headers are gone; all we can do is drop the connection.
-			return
+		cw := &countingWriter{w: w}
+		if err := trace.WriteMetrics(cw, rt.Progress()); err != nil {
+			if cw.n == 0 {
+				// Nothing flushed yet: the status code is still ours to set.
+				http.Error(w, "rio: writing metrics: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+			logMetricsError(err)
 		}
 	})
+}
+
+// logMetricsError reports a mid-exposition metrics write failure. A
+// package variable so handler tests can observe the after-first-byte
+// path; production use keeps the default standard-library logger.
+var logMetricsError = func(err error) {
+	log.Printf("rio: metrics handler: writing exposition after first byte: %v", err)
+}
+
+// countingWriter tracks whether any byte reached the underlying writer,
+// which decides whether a metrics write error can still become a 500.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // PublishExpvar publishes rt's Progress under the given expvar name (the

@@ -1,0 +1,99 @@
+package rio
+
+// White-box tests of MetricsHandler's error contract: Content-Type on
+// the success path, 500 when the exposition fails before the first byte,
+// and a logged (not swallowed) error when it fails mid-stream.
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// failAfterWriter fails every Write after the first n bytes went through.
+type failAfterWriter struct {
+	*httptest.ResponseRecorder
+	budget int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errors.New("connection lost")
+	}
+	n := len(p)
+	if n > f.budget {
+		n = f.budget
+	}
+	f.budget -= n
+	f.ResponseRecorder.Write(p[:n])
+	return n, errors.New("connection lost")
+}
+
+func metricsTestRuntime(t *testing.T) Runtime {
+	t.Helper()
+	rt, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(1, func(s Submitter) { s.Submit(func() {}, Write(0)) }); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestMetricsHandlerSuccess(t *testing.T) {
+	rt := metricsTestRuntime(t)
+	rec := httptest.NewRecorder()
+	MetricsHandler(rt).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want the Prometheus text exposition type", got)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"rio_run_running", "rio_tasks_executed_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body is missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsHandlerErrorBeforeFirstByte(t *testing.T) {
+	rt := metricsTestRuntime(t)
+	var logged error
+	prev := logMetricsError
+	logMetricsError = func(err error) { logged = err }
+	t.Cleanup(func() { logMetricsError = prev })
+
+	rec := &failAfterWriter{ResponseRecorder: httptest.NewRecorder(), budget: 0}
+	MetricsHandler(rt).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500 when no exposition byte reached the client", rec.Code)
+	}
+	if logged != nil {
+		t.Errorf("before-first-byte failure must become a 500, not a log line (logged %v)", logged)
+	}
+}
+
+func TestMetricsHandlerErrorAfterFirstByte(t *testing.T) {
+	rt := metricsTestRuntime(t)
+	var logged error
+	prev := logMetricsError
+	logMetricsError = func(err error) { logged = err }
+	t.Cleanup(func() { logMetricsError = prev })
+
+	rec := &failAfterWriter{ResponseRecorder: httptest.NewRecorder(), budget: 10}
+	MetricsHandler(rt).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d; after the first byte the 200 is already on the wire", rec.Code)
+	}
+	if logged == nil {
+		t.Error("mid-stream write failure was swallowed, want it logged")
+	}
+}
