@@ -608,3 +608,71 @@ func BenchmarkVerifyOverhead(b *testing.B) {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(g.Tasks)), "ns/task")
 	})
 }
+
+// BenchmarkStreamPipeline — the streaming steady state as a CI
+// perf-regression gate: one window of a fixed shape (chains of RW tasks,
+// chain-affine mapping) flushed per iteration through a long-lived
+// session, so ns/task is the per-window protocol cost — epoch barrier,
+// state recycle and replay — with the shape compiled once before the
+// timer starts. The variants mirror `rio-bench pipeline`: the compiled
+// shape-cache hit path, closure replay of every window (NoCompile), and
+// the centralized baseline's per-window fallback run.
+func BenchmarkStreamPipeline(b *testing.B) {
+	const (
+		chains   = 32
+		chainLen = 8
+	)
+	noop := func(*stf.Task, stf.WorkerID) {}
+	m := func(id rio.TaskID) rio.WorkerID { return rio.WorkerID(int(id) / chainLen % benchWorkers) }
+	window := func(s *rio.Stream) {
+		for c := 0; c < chains; c++ {
+			for l := 0; l < chainLen; l++ {
+				s.Task(0, c, l, 0, rio.RW(rio.DataID(c)))
+			}
+		}
+	}
+	for _, v := range []struct {
+		name      string
+		model     rio.Model
+		noCompile bool
+	}{
+		{"stream-compiled", rio.InOrder, false},
+		{"stream-closure", rio.InOrder, true},
+		{"fallback-centralized", rio.Centralized, false},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			rt, err := rio.New(rio.Options{
+				Model: v.model, Workers: benchWorkers, Mapping: m, NoAccounting: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := rio.OpenStream(rt, chains, rio.StreamOptions{
+				MaxWindow: -1, NoCompile: v.noCompile,
+				Kernel: noop,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			// One window outside the timed region compiles and caches the
+			// shape; the loop measures the steady state.
+			window(s)
+			if err := s.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				window(s)
+				if err := s.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := s.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(chains*chainLen), "ns/task")
+		})
+	}
+}

@@ -20,6 +20,10 @@
 //	                     spin, park, sleep) on contended readers-writer and
 //	                     reduction rounds plus the uncontended fig7 replay,
 //	                     reporting wall, ns/task and process CPU time
+//	rio-bench pipeline   streaming ablation: an unbounded flow of small-task
+//	                     windows through the Stream API — native in-order
+//	                     session (compiled shapes and closure replay) vs the
+//	                     centralized per-window fallback
 //	rio-bench all        fig2..fig8 + costmodel (run sim/sim7/hpl/ablation
 //	                     separately; they have their own time budgets)
 //
@@ -69,11 +73,15 @@ func run(args []string) error {
 		syncSpin   = fs.Int("sync-spin", 0, "sync only: SpinLimit override (0 = engine default)")
 		syncYield  = fs.Int("sync-yield", 0, "sync only: YieldLimit override (0 = engine default); small values force contended waits into the policies' slow phases")
 		simWorkers = fs.Int("sim-workers", 24, "simulated thread count for the sim subcommand (paper: 24)")
+		windows    = fs.Int("windows", 200, "pipeline only: windows per measured stream")
+		winSizes   = fs.String("window-sizes", "64,256,1024", "pipeline only: comma-separated tasks per window")
+		chainLen   = fs.Int("chain-len", 8, "pipeline only: dependency-chain depth within each window")
+		pipeSizes  = fs.String("pipeline-task-sizes", "0,100,1000", "pipeline only: counter task sizes (small: the streaming overhead regime)")
 		exp        = fs.Int("experiment", 0, "fig8 only: restrict to one experiment 1..4 (0 = all)")
 		chromeOut  = fs.String("chrome", "", "replay only: also write a Chrome trace of one traced run to this file")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|replay|sync|all}")
+		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|replay|sync|pipeline|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -190,6 +198,20 @@ func run(args []string) error {
 			Workers: *workers, Rounds: *rounds, Readers: r,
 			TasksPerWorker: *perW, TaskSize: *syncSize, BlockDur: *syncBlock,
 			SpinLimit: *syncSpin, YieldLimit: *syncYield,
+			Warmup: *warmup, Reps: *reps,
+		}))
+	case "pipeline":
+		var wsz []int
+		if wsz, err = parseInts(*winSizes); err != nil {
+			return fmt.Errorf("-window-sizes: %w", err)
+		}
+		var psz []uint64
+		if psz, err = parseUints(*pipeSizes); err != nil {
+			return fmt.Errorf("-pipeline-task-sizes: %w", err)
+		}
+		err = addRows(bench.PipelineAblation(bench.PipelineConfig{
+			Workers: *workers, Windows: *windows, WindowSizes: wsz,
+			ChainLen: *chainLen, TaskSizes: psz,
 			Warmup: *warmup, Reps: *reps,
 		}))
 	case "costmodel":

@@ -19,6 +19,21 @@ func TestRunSubcommands(t *testing.T) {
 	}
 }
 
+func TestRunPipeline(t *testing.T) {
+	args := []string{"-workers", "2", "-reps", "1", "-warmup", "0",
+		"-windows", "8", "-window-sizes", "16", "-chain-len", "4",
+		"-pipeline-task-sizes", "0", "-json", "pipeline"}
+	if err := run(args); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"-window-sizes", "x", "pipeline"}); err == nil {
+		t.Error("bad window sizes accepted")
+	}
+	if err := run([]string{"-window-sizes", "2", "-chain-len", "4", "pipeline"}); err == nil {
+		t.Error("window size below chain length accepted")
+	}
+}
+
 func TestRunFig8SingleExperiment(t *testing.T) {
 	args := []string{"-workers", "3", "-tasks", "64", "-task-sizes", "50",
 		"-reps", "1", "-warmup", "0", "-experiment", "2", "fig8"}

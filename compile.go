@@ -99,6 +99,10 @@ type inflightCompile struct {
 // InOrder (the zero value): the compiled path is specific to
 // decentralized replay.
 func NewEngine(o Options) (*Engine, error) {
+	o, err := normalizeOptions(o)
+	if err != nil {
+		return nil, err
+	}
 	if o.Model != InOrder {
 		return nil, fmt.Errorf("rio: NewEngine: compiled replay requires the InOrder model, got %v", o.Model)
 	}

@@ -55,6 +55,17 @@ func (e *Engine) RunCompiledContext(ctx context.Context, cp *stf.CompiledProgram
 // identically); OpExec polls the abort flag once per task, mirroring the
 // per-submission poll of the closure path.
 func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
+	s.runStreamTasks(cp, cp.Tasks, k)
+}
+
+// runStreamTasks interprets cp's micro-op stream for this worker against an
+// explicit task table. For a one-shot run the table is cp.Tasks itself;
+// streaming sessions pass the current window's tasks instead — a cached
+// program carries only the window's *shape* (access structure and
+// ownership), while kernel selectors, coordinates and closure bodies vary
+// window to window. len(tasks) must equal len(cp.Tasks); the session
+// enforces this via the shape fingerprint before publishing a window.
+func (s *submitter) runStreamTasks(cp *stf.CompiledProgram, tasks []stf.Task, k stf.Kernel) {
 	stream := cp.Streams[s.worker]
 	for i := range stream {
 		in := &stream[i]
@@ -85,7 +96,7 @@ func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
 				s.fail(errAborted)
 				return
 			}
-			s.execCompiled(&cp.Tasks[in.Task], k)
+			s.execCompiled(&tasks[in.Task], k)
 			if s.err != nil {
 				return // task failed terminally (retries exhausted)
 			}
@@ -105,12 +116,13 @@ func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
 	// Declared counts are known at compile time; charge them only on a
 	// completed stream (an aborted run reports what actually happened:
 	// Executed is counted live, Declared is unavailable). Resume-pruned
-	// owned tasks are charged the same way.
-	s.ws.Declared = cp.Stats[s.worker].Declared
+	// owned tasks are charged the same way. The counts accumulate so a
+	// streaming session's windows add up; one-shot runs start from zero.
+	s.ws.Declared += cp.Stats[s.worker].Declared
 	s.prog.StoreDeclared(s.ws.Declared)
 	if sk := cp.Stats[s.worker].Skipped; sk > 0 {
-		s.ws.Skipped = sk
-		s.prog.StoreSkipped(sk)
+		s.ws.Skipped += sk
+		s.prog.StoreSkipped(s.ws.Skipped)
 	}
 }
 

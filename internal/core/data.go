@@ -116,6 +116,19 @@ func (s *sharedCell) wake() {
 	s.parkMu.Unlock()
 }
 
+// recycle resets the shared protocol counters to their pre-flow state for a
+// new epoch. Callers must guarantee quiescence: no worker is between a get
+// and a terminate on this data, and no waiter is parked on the gate (the
+// streaming session calls it from the epoch barrier's last arriver, after
+// every worker has finished the window). The reduction mutex and park gate
+// need no reset — an unlocked mutex and a nil gate channel *are* their idle
+// states, and the no-lost-wakeup protocol re-derives the gate per epoch.
+func (s *sharedCell) recycle() {
+	s.lastExecutedWrite.Store(int64(stf.NoTask))
+	s.nbReadsSinceWrite.Store(0)
+	s.nbRedsSinceWrite.Store(0)
+}
+
 // localState is the private half, one per (worker, data) pair: what this
 // worker has encountered in the task flow so far, whether or not the
 // corresponding tasks have executed yet. Only its owning worker touches it,
@@ -168,7 +181,7 @@ func newLocalArena(workers, numData int) *localArena {
 		numData: numData,
 	}
 	for i := range a.backing {
-		a.backing[i].lastRegisteredWrite = int64(stf.NoTask)
+		a.backing[i].recycle()
 	}
 	return a
 }
@@ -176,6 +189,13 @@ func newLocalArena(workers, numData int) *localArena {
 // worker returns worker w's localState segment.
 func (a *localArena) worker(w int) []localState {
 	return a.backing[w*a.stride : w*a.stride+a.numData : w*a.stride+a.numData]
+}
+
+// recycle resets a worker's private view of one data object for a new
+// epoch. Each worker calls it for the data its next window touches before
+// replaying the window — private memory, so no synchronization is involved.
+func (l *localState) recycle() {
+	*l = localState{lastRegisteredWrite: int64(stf.NoTask)}
 }
 
 // declareRead implements declare_read: the worker encountered a read it

@@ -102,6 +102,10 @@ type Engine struct {
 	checkpoint   bool
 	stats        trace.Stats
 	progress     atomic.Pointer[trace.ProgressTable]
+	// sessionActive latches while a streaming Session (OpenSession) owns the
+	// engine's workers; Run and a second OpenSession are rejected until the
+	// session is closed.
+	sessionActive atomic.Bool
 }
 
 // New returns a RIO engine for the given options.
@@ -215,6 +219,9 @@ func (e *Engine) run(ctx context.Context, numData int, guard bool, flowLen int, 
 	if numData < 0 {
 		return errors.New("core: negative numData")
 	}
+	if e.sessionActive.Load() {
+		return errors.New("core: engine has an open streaming session; close it before Run")
+	}
 	// Seed the adaptive spin budgets from the previous run's wait
 	// histogram (if any) before the new progress table replaces it.
 	seed := e.spinLimit
@@ -268,6 +275,7 @@ func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace
 		subs[w] = &submitter{
 			eng:        e,
 			worker:     stf.WorkerID(w),
+			mapping:    e.mapping,
 			shared:     shared,
 			local:      arena.worker(w),
 			claims:     claims,
@@ -450,21 +458,26 @@ type submitter struct {
 	eng    *Engine
 	worker stf.WorkerID
 	next   stf.TaskID
-	shared []sharedState
-	local  []localState
-	claims *claimTable
-	abort  *abortState
-	health *workerHealth       // nil unless the stall watchdog is armed
-	guard  *guardState         // nil when the divergence guard is disabled
-	prog   *trace.ProgressCell // always-on published counters (Progress)
-	hooks  *stf.Hooks          // nil when no lifecycle hooks are installed
-	retry  *stf.RetryPolicy    // nil disables task retry
-	snaps  stf.Snapshotter     // write-set capture for retry rollback
-	resume *stf.Checkpoint     // completed tasks of a previous run to skip
-	track  bool                // log completed tasks for checkpoints
-	done   []stf.TaskID        // tasks this worker completed (track only)
-	ws     trace.WorkerStats
-	err    error
+	// mapping is the task→worker assignment this replay resolves ownership
+	// against: the engine's mapping for one-shot runs, the snapshot taken at
+	// OpenSession for streaming sessions (so every window of a session — and
+	// the compiled shapes cached for it — bakes in one consistent mapping).
+	mapping stf.Mapping
+	shared  []sharedState
+	local   []localState
+	claims  *claimTable
+	abort   *abortState
+	health  *workerHealth       // nil unless the stall watchdog is armed
+	guard   *guardState         // nil when the divergence guard is disabled
+	prog    *trace.ProgressCell // always-on published counters (Progress)
+	hooks   *stf.Hooks          // nil when no lifecycle hooks are installed
+	retry   *stf.RetryPolicy    // nil disables task retry
+	snaps   stf.Snapshotter     // write-set capture for retry rollback
+	resume  *stf.Checkpoint     // completed tasks of a previous run to skip
+	track   bool                // log completed tasks for checkpoints
+	done    []stf.TaskID        // tasks this worker completed (track only)
+	ws      trace.WorkerStats
+	err     error
 	// spinBudget is the busy-poll budget of the next dependency wait under
 	// WaitAdaptive (ignored by the other policies): seeded from the
 	// previous run's wait histogram, then fed back per completed wait.
@@ -483,7 +496,7 @@ var errAborted = errors.New("aborted after a failure elsewhere in the run")
 // tasks. It reports whether this worker executes the task; ok is false on
 // a mapping error (already recorded via fail).
 func (s *submitter) owns(id stf.TaskID) (execute, ok bool) {
-	owner := s.eng.mapping(id)
+	owner := s.mapping(id)
 	switch {
 	case owner == s.worker:
 		return true, true
@@ -588,7 +601,7 @@ func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
 // the task's owner so run totals line up with compiled-replay resume.
 func (s *submitter) skipCompleted(id stf.TaskID) {
 	s.next = id + 1
-	if o := s.eng.mapping(id); o == s.worker || (o == stf.SharedWorker && s.worker == 0) {
+	if o := s.mapping(id); o == s.worker || (o == stf.SharedWorker && s.worker == 0) {
 		s.ws.Skipped++
 		s.prog.StoreSkipped(s.ws.Skipped)
 	}

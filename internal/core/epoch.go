@@ -1,0 +1,105 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// gateSpin is the busy-poll budget of epochGate.Wait before it parks. Epoch
+// hand-offs on a loaded pipeline resolve in microseconds (the flusher
+// publishes the next window as soon as the barrier clears), so a short spin
+// usually absorbs the whole wait; an idle stream parks on the channel.
+const gateSpin = 2048
+
+// epochGate is a monotonically advancing generation counter with an event
+// gate: Wait(target) blocks until the generation reaches target. Each
+// Advance closes the current park channel and replaces it with nil; a
+// parked waiter woken by an older generation's close re-checks the counter
+// and re-parks on the fresh channel. Generation numbers — never channel
+// identity — decide progress, which is exactly why a stale wakeup (a close
+// that raced a waiter from a previous epoch) can never satisfy a future
+// target: the woken waiter re-reads the counter and parks again.
+//
+// The streaming session runs two gates: "published" (the flusher advances
+// it when a window is handed to the workers) and "done" (the last worker
+// arriving at the epoch barrier advances it). The single-outstanding-window
+// invariant — published − done ≤ 1 — is enforced by the flusher waiting on
+// "done" before advancing "published".
+type epochGate struct {
+	n      atomic.Uint64
+	closed atomic.Bool
+	mu     sync.Mutex
+	ch     chan struct{}
+}
+
+// Current returns the gate's generation.
+func (g *epochGate) Current() uint64 { return g.n.Load() }
+
+// Advance publishes the next generation and wakes every parked waiter. The
+// counter is advanced under the park mutex so a waiter that checked the
+// counter inside the mutex and then parked cannot miss the close.
+func (g *epochGate) Advance() {
+	g.mu.Lock()
+	g.n.Add(1)
+	if g.ch != nil {
+		close(g.ch)
+		g.ch = nil
+	}
+	g.mu.Unlock()
+}
+
+// Close tears the gate down: every parked waiter wakes, and every present
+// and future Wait whose target has not been reached returns false instead
+// of blocking. Used at session shutdown so nothing can hang on a gate whose
+// epochs will never advance again.
+func (g *epochGate) Close() {
+	g.mu.Lock()
+	g.closed.Store(true)
+	if g.ch != nil {
+		close(g.ch)
+		g.ch = nil
+	}
+	g.mu.Unlock()
+}
+
+// Wait blocks until the generation reaches target or the gate is closed,
+// reporting which (true = target reached). Two phases: a short busy-poll
+// for the common loaded-pipeline case, then channel parking with the
+// mandatory generation re-check after every wakeup.
+func (g *epochGate) Wait(target uint64) bool {
+	for i := 0; i < gateSpin; i++ {
+		if g.n.Load() >= target {
+			return true
+		}
+		if g.closed.Load() {
+			return g.n.Load() >= target
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		if g.n.Load() >= target {
+			return true
+		}
+		if g.closed.Load() {
+			return false
+		}
+		g.mu.Lock()
+		if g.n.Load() >= target {
+			g.mu.Unlock()
+			return true
+		}
+		if g.closed.Load() {
+			g.mu.Unlock()
+			return false
+		}
+		if g.ch == nil {
+			g.ch = make(chan struct{})
+		}
+		ch := g.ch
+		g.mu.Unlock()
+		<-ch
+	}
+}

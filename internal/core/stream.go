@@ -1,0 +1,371 @@
+// Streaming sessions: unbounded task flows executed window by window.
+//
+// The paper's model assumes a finite flow that every worker unrolls in
+// full; a session removes that assumption while keeping the decentralized
+// protocol intact. The producer records a bounded window of tasks with
+// window-local IDs, publishes it, and all workers replay exactly that
+// window — record-once-replay-everywhere, so replay divergence between
+// workers is impossible by construction within a window. An epoch barrier
+// separates consecutive windows: window k+1 is only published after every
+// worker arrived at the end of window k, which makes the concatenation of
+// windows sequentially consistent (everything in window k happens-before
+// everything in window k+1).
+//
+// The barrier is also where per-data synchronization state is recycled:
+// the last arriver resets the shared counters of the data the window
+// touched (quiescent by definition — nobody is between a get and a
+// terminate), and each worker resets its private counters for the next
+// window's touched set before replaying it. State cost is O(numData) for
+// the session plus O(touched) work per window — independent of how many
+// tasks have flowed through, which is the whole point.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rio/internal/stf"
+	"rio/internal/trace"
+)
+
+// WindowRun describes one window handed to a session's workers.
+type WindowRun struct {
+	// Tasks is the window's task table, IDs window-local (0..len-1). The
+	// slice may alias a reusable recording buffer: the session guarantees it
+	// is not read after the window's epoch barrier, so the producer may
+	// reset the buffer as soon as the *next* Flush returns.
+	Tasks []stf.Task
+	// Kernel dispatches every task of the window (closure tasks are wrapped
+	// into a kernel by the public layer). Required.
+	Kernel stf.Kernel
+	// Compiled optionally carries a program compiled from this window's
+	// shape (same access structure, same mapping, same worker count). When
+	// set, workers interpret its micro-op streams against Tasks; when nil,
+	// workers replay Tasks through the closure protocol path with the
+	// divergence guard armed per window (if the engine has it enabled).
+	Compiled *stf.CompiledProgram
+	// Touched lists the data objects the window accesses; exactly their
+	// state is recycled at the window's epoch boundary.
+	Touched []stf.DataID
+}
+
+// windowSpec is the published form of a window: the run plus the per-epoch
+// machinery (abort latch, claim table for SharedWorker tasks, timeout
+// timer). A spec with closed set is the shutdown marker, not a window.
+type windowSpec struct {
+	WindowRun
+	epoch  uint64
+	abort  *abortState
+	claims *claimTable
+	timer  *time.Timer
+	closed bool
+}
+
+var errSessionClosed = errors.New("core: session is closed")
+
+// Session executes an unbounded flow of windows over one engine's workers.
+// The worker goroutines, the per-data shared state and the per-worker local
+// arenas persist for the session's lifetime; windows borrow them between
+// epoch barriers. Flush/Drain/Close must be called from a single producer
+// goroutine. A failed window poisons the session: the error is sticky and
+// no further windows run.
+type Session struct {
+	eng     *Engine
+	numData int
+	timeout time.Duration
+	shared  []sharedState
+	subs    []*submitter
+	prog    *trace.ProgressTable
+
+	pub  epochGate // windows published to the workers
+	done epochGate // windows fully executed (barrier passed)
+
+	spec      *windowSpec // current window; owned by the flusher between barriers
+	published uint64
+
+	arrivals atomic.Int32
+	wg       sync.WaitGroup
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// OpenSession starts a streaming session over numData data objects. The
+// engine's workers are spawned immediately and owned by the session until
+// Close; Run and further OpenSession calls are rejected while it is open.
+// timeout > 0 bounds each window's execution (a window exceeding it is
+// aborted and poisons the session). The mapping is snapshotted at open:
+// SetMapping during a session does not affect it.
+//
+// Sessions do not arm the stall watchdog (a window with no traffic is
+// indistinguishable from a stall at this layer — use timeout for bounded
+// windows), do not take checkpoints and ignore Options.Resume: those are
+// finite-flow notions.
+func (e *Engine) OpenSession(numData int, timeout time.Duration) (*Session, error) {
+	if numData < 0 {
+		return nil, errors.New("core: negative numData")
+	}
+	if !e.sessionActive.CompareAndSwap(false, true) {
+		return nil, errors.New("core: engine already has an open streaming session")
+	}
+	shared := make([]sharedState, numData)
+	for i := range shared {
+		shared[i].recycle()
+	}
+	arena := newLocalArena(e.workers, numData)
+	rp := trace.NewProgressTable(e.workers)
+	e.progress.Store(rp)
+	ss := &Session{
+		eng:     e,
+		numData: numData,
+		timeout: timeout,
+		shared:  shared,
+		prog:    rp,
+	}
+	mapping := e.mapping
+	ss.subs = make([]*submitter, e.workers)
+	for w := range ss.subs {
+		ss.subs[w] = &submitter{
+			eng:        e,
+			worker:     stf.WorkerID(w),
+			mapping:    mapping,
+			shared:     shared,
+			local:      arena.worker(w),
+			prog:       rp.Worker(w),
+			hooks:      e.hooks,
+			retry:      e.retry,
+			snaps:      e.snaps,
+			spinBudget: e.spinLimit,
+		}
+	}
+	ss.wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
+		go ss.worker(w)
+	}
+	return ss, nil
+}
+
+// Flush publishes one window. It blocks until the previous window has fully
+// completed (the epoch barrier), then hands the new window to the workers
+// and returns immediately — the window executes while the producer records
+// the next one, so recording and execution pipeline with exactly one
+// window in flight. An empty window is a no-op. On a poisoned session the
+// sticky error is returned and the window is dropped.
+func (ss *Session) Flush(wr WindowRun) error {
+	ss.mu.Lock()
+	closed := ss.closed
+	ss.mu.Unlock()
+	if closed {
+		return errSessionClosed
+	}
+	ss.done.Wait(ss.published)
+	if err := ss.Err(); err != nil {
+		return err
+	}
+	if len(wr.Tasks) == 0 {
+		return nil
+	}
+	if wr.Kernel == nil {
+		return errors.New("core: window has no kernel")
+	}
+	if cp := wr.Compiled; cp != nil {
+		if cp.Workers != ss.eng.workers {
+			return fmt.Errorf("core: window program compiled for %d workers, session has %d", cp.Workers, ss.eng.workers)
+		}
+		if len(cp.Tasks) != len(wr.Tasks) {
+			return fmt.Errorf("core: window has %d tasks, its compiled shape %d", len(wr.Tasks), len(cp.Tasks))
+		}
+		if cp.NumData != ss.numData {
+			return fmt.Errorf("core: window shape compiled over %d data, session has %d", cp.NumData, ss.numData)
+		}
+	}
+	ss.published++
+	spec := &windowSpec{
+		WindowRun: wr,
+		epoch:     ss.published,
+		abort:     &abortState{},
+		claims:    newClaimTable(),
+	}
+	shared := ss.shared
+	spec.abort.onRaise = func() {
+		for i := range shared {
+			shared[i].wake()
+		}
+	}
+	if ss.timeout > 0 {
+		ab, d := spec.abort, ss.timeout
+		spec.timer = time.AfterFunc(d, func() {
+			ab.raise(fmt.Errorf("core: stream window exceeded its %v timeout", d), true)
+		})
+	}
+	if h := ss.eng.hooks; h != nil && h.OnRunStart != nil {
+		h.OnRunStart(ss.eng.workers, ss.numData)
+	}
+	ss.spec = spec
+	ss.pub.Advance()
+	return nil
+}
+
+// Drain blocks until every published window has completed, then reports the
+// session's sticky error (nil if all windows succeeded so far).
+func (ss *Session) Drain() error {
+	ss.done.Wait(ss.published)
+	return ss.Err()
+}
+
+// Close drains the session, stops the worker goroutines and releases the
+// engine. Idempotent; returns the session's sticky error.
+func (ss *Session) Close() error {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return ss.err
+	}
+	ss.closed = true
+	ss.mu.Unlock()
+	// Windows always reach their barrier (even failed ones), so this wait
+	// terminates unless a task body is truly wedged — the same contract as
+	// Run without the watchdog.
+	ss.done.Wait(ss.published)
+	ss.spec = &windowSpec{epoch: ss.published + 1, closed: true}
+	ss.pub.Advance()
+	ss.wg.Wait()
+	ss.pub.Close()
+	ss.done.Close()
+	ss.prog.Finish()
+	ss.eng.sessionActive.Store(false)
+	return ss.Err()
+}
+
+// Err returns the session's sticky error: the verdict of the first failed
+// window, wrapped with its epoch number.
+func (ss *Session) Err() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.err
+}
+
+func (ss *Session) fail(err error) {
+	ss.mu.Lock()
+	if ss.err == nil {
+		ss.err = err
+	}
+	ss.mu.Unlock()
+}
+
+// worker is one session worker goroutine: wait for the next epoch's window,
+// replay it, arrive at the barrier, repeat until the shutdown spec (or a
+// torn-down gate) is observed.
+func (ss *Session) worker(w int) {
+	defer ss.wg.Done()
+	s := ss.subs[w]
+	for next := uint64(1); ; next++ {
+		if !ss.pub.Wait(next) {
+			return // gate closed under us: session torn down
+		}
+		spec := ss.spec
+		if spec.closed {
+			return
+		}
+		ss.runWindow(s, spec)
+		ss.arrive(spec)
+	}
+}
+
+// runWindow replays one window on one worker: reset the worker's replay
+// cursor and per-window plumbing, recycle its private state for the data
+// this window touches, then walk the window — compiled micro-ops when the
+// spec carries a program, the closure protocol path otherwise.
+func (ss *Session) runWindow(s *submitter, spec *windowSpec) {
+	s.next = 0
+	s.err = nil
+	s.abort = spec.abort
+	s.claims = spec.claims
+	if spec.Compiled == nil && ss.eng.guard {
+		// Fresh divergence guard per epoch: each window is a complete replay
+		// of its own flow, so the cross-worker fold/cross-check argument
+		// applies window by window (see guardVerdict).
+		s.guard = &guardState{}
+	} else {
+		s.guard = nil
+	}
+	for _, d := range spec.Touched {
+		s.local[d].recycle()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("core: panic during replay: %v", r)
+			s.fail(err)
+			spec.abort.raise(err, false)
+		}
+	}()
+	if cp := spec.Compiled; cp != nil {
+		s.runStreamTasks(cp, spec.Tasks, spec.Kernel)
+		return
+	}
+	for i := range spec.Tasks {
+		s.submitRecorded(&spec.Tasks[i], spec.Kernel)
+	}
+}
+
+// arrive is the epoch barrier. The last worker to arrive owns the epoch's
+// epilogue: assemble the window verdict from every worker's state (their
+// writes happen-before their arrival increments, all observed by the last
+// arriver), recycle the touched shared state on success, and advance the
+// done gate — which both unblocks the flusher and carries the epilogue's
+// writes to whichever worker starts the next window first.
+func (ss *Session) arrive(spec *windowSpec) {
+	if int(ss.arrivals.Add(1)) < ss.eng.workers {
+		return
+	}
+	ss.arrivals.Store(0)
+	if spec.timer != nil {
+		spec.timer.Stop()
+	}
+	var errs []error
+	aborted := 0
+	for w, s := range ss.subs {
+		switch {
+		case s.err == nil:
+		case errors.Is(s.err, errAborted):
+			aborted++
+		default:
+			errs = append(errs, fmt.Errorf("worker %d: %w", w, s.err))
+		}
+	}
+	if len(errs) > 0 || aborted > 0 {
+		// The originating failure first when it came from outside the
+		// workers (the window timeout). A raise that lost the race against
+		// a fully completed window — every worker clean — is ignored: the
+		// window met its deadline.
+		if cause, external := spec.abort.state(); external && cause != nil {
+			errs = append([]error{cause}, errs...)
+		}
+		if aborted > 0 {
+			errs = append(errs, fmt.Errorf("core: %d worker(s) %w", aborted, errAborted))
+		}
+	} else if spec.Compiled == nil && ss.eng.guard {
+		if err := guardVerdict(ss.subs); err != nil {
+			errs = append(errs, fmt.Errorf("core: %w", err))
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		ss.fail(fmt.Errorf("core: stream window %d: %w", spec.epoch, err))
+	} else {
+		// Quiescent recycle: every worker is past its last terminate on this
+		// window's data and parked-waiter registration is zero (a successful
+		// window leaves no waiter behind). Skipped on failure — the session
+		// is poisoned and the state is never read again.
+		for _, d := range spec.Touched {
+			ss.shared[d].recycle()
+		}
+	}
+	if h := ss.eng.hooks; h != nil && h.OnRunEnd != nil {
+		h.OnRunEnd(ss.Err())
+	}
+	ss.done.Advance()
+}

@@ -254,7 +254,58 @@ func (m Model) String() string {
 	return fmt.Sprintf("Model(%d)", int(m))
 }
 
+// TuningOptions groups the wait-tuning knobs (Options.Tuning). They
+// control how the engines behave once busy-polling has not resolved a wait;
+// see the README's "Tuning" section for guidance. The zero value means
+// engine defaults throughout.
+type TuningOptions struct {
+	// WaitPolicy selects how the engines wait — the in-order engine for
+	// unresolved dependencies, the centralized engine for ready tasks:
+	// WaitAdaptive (the default), WaitSpin, WaitPark or WaitSleep. The
+	// sequential engine ignores it.
+	WaitPolicy WaitPolicy
+	// SpinLimit is the busy-poll budget before a wait escalates per
+	// WaitPolicy (0 = default). Under WaitAdaptive it seeds the in-order
+	// engine's per-worker adaptive budget.
+	SpinLimit int
+	// YieldLimit is the number of runtime.Gosched-polling iterations
+	// between the spin phase and the policy's slow phase (0 = default).
+	// In-order engine only.
+	YieldLimit int
+	// SleepInit and SleepMax bound the WaitSleep ladder's exponential
+	// sleeps; SleepMax also seeds a parked waiter's failsafe timeout.
+	// In-order engine only.
+	SleepInit time.Duration
+	SleepMax  time.Duration
+}
+
+// FaultOptions groups the fault-tolerance knobs (Options.Fault): retry
+// with write-set rollback, checkpointing and resume. The zero value
+// disables all of it.
+type FaultOptions struct {
+	// Retry installs transient-fault retry of task bodies with write-set
+	// rollback (see Options.Retry for the full contract). Implies
+	// Checkpoint.
+	Retry *RetryPolicy
+	// Snapshots captures and restores data objects for retry rollback.
+	Snapshots Snapshotter
+	// Resume skips the tasks recorded as completed in a previous run's
+	// Checkpoint.
+	Resume *Checkpoint
+	// Checkpoint enables completed-task tracking so a failed run returns a
+	// *PartialError carrying a resumable frontier. Implied by Retry.
+	Checkpoint bool
+}
+
 // Options configures an engine.
+//
+// The wait-tuning and fault-tolerance knobs live in the Tuning and Fault
+// sub-structs. Their top-level twins (WaitPolicy, SpinLimit, YieldLimit,
+// SleepInit, SleepMax, Retry, Snapshots, Resume, Checkpoint) are kept as
+// aliases for compatibility with existing callers; the two spellings are
+// merged when an engine is built, and setting the same knob to different
+// values in both places is a construction error rather than a silent
+// preference. New code should use the grouped fields.
 type Options struct {
 	// Model selects the execution model (InOrder by default).
 	Model Model
@@ -270,21 +321,19 @@ type Options struct {
 	// Window bounds in-flight tasks in the centralized engine (0 =
 	// unbounded).
 	Window int
-	// WaitPolicy selects how the engines wait — the in-order engine for
-	// unresolved dependencies, the centralized engine for ready tasks —
-	// once busy-polling has not resolved the wait: WaitAdaptive (the
-	// default), WaitSpin, WaitPark or WaitSleep. The sequential engine
-	// ignores it. See the README's "Tuning" section for guidance.
+	// Tuning groups the wait-tuning knobs — the preferred spelling of
+	// WaitPolicy, SpinLimit, YieldLimit, SleepInit and SleepMax.
+	Tuning TuningOptions
+	// Fault groups the fault-tolerance knobs — the preferred spelling of
+	// Retry, Snapshots, Resume and Checkpoint.
+	Fault FaultOptions
+	// WaitPolicy is the flat alias of Tuning.WaitPolicy, kept for
+	// compatibility; prefer the grouped field in new code.
 	WaitPolicy WaitPolicy
-	// SpinLimit is the busy-poll budget before a wait escalates per
-	// WaitPolicy (0 = default). Under WaitAdaptive it seeds the in-order
-	// engine's per-worker adaptive budget.
+	// SpinLimit is the flat alias of Tuning.SpinLimit.
 	SpinLimit int
-	// YieldLimit is the number of runtime.Gosched-polling iterations
-	// between the spin phase and the policy's slow phase (0 = default).
-	// SleepInit and SleepMax bound the WaitSleep ladder's exponential
-	// sleeps; SleepMax also seeds a parked waiter's failsafe timeout.
-	// All three apply to the in-order engine only.
+	// YieldLimit, SleepInit and SleepMax are the flat aliases of their
+	// Tuning counterparts.
 	YieldLimit int
 	SleepInit  time.Duration
 	SleepMax   time.Duration
@@ -321,19 +370,22 @@ type Options struct {
 	// Retry.MaxAttempts times. Tasks whose written data is neither
 	// idempotent (see Access.AsIdempotent) nor snapshottable get exactly
 	// one attempt. nil (the default) disables retry and costs the hot
-	// path one pointer test per task. Retry implies Checkpoint.
+	// path one pointer test per task. Retry implies Checkpoint. Flat alias
+	// of Fault.Retry; prefer the grouped field in new code.
 	Retry *RetryPolicy
 	// Snapshots captures and restores data objects for retry rollback.
 	// Without it, only tasks whose writes are all idempotent are retried.
+	// Flat alias of Fault.Snapshots.
 	Snapshots Snapshotter
 	// Resume skips the tasks recorded as completed in a previous run's
 	// Checkpoint (obtained from a PartialError); their effects must still
 	// be present in the data objects. The program (or graph) must be the
-	// one that produced the checkpoint.
+	// one that produced the checkpoint. Flat alias of Fault.Resume.
 	Resume *Checkpoint
 	// Checkpoint enables completed-task tracking: a failed run returns a
 	// *PartialError whose PartialResult carries the dependency-closed
-	// completed frontier for Resume. Implied by Retry.
+	// completed frontier for Resume. Implied by Retry. Flat alias of
+	// Fault.Checkpoint (the two are OR-ed).
 	Checkpoint bool
 	// Hooks optionally installs lifecycle callbacks fired by every engine:
 	// run start/end, task start/end and dependency-wait start/end. The
@@ -404,30 +456,129 @@ type GraphRunner interface {
 
 // New builds a Runtime for the given options. With Model InOrder (the
 // default) the returned Runtime is a caching *Engine: it additionally
-// implements GraphRunner, so recorded graphs can take the compiled fast
-// path without a separate NewEngine call —
+// implements GraphRunner and Streamer, so recorded graphs can take the
+// compiled fast path and unbounded flows the streaming path without a
+// separate NewEngine call —
 //
 //	rt, _ := rio.New(rio.Options{Workers: 4})
 //	if gr, ok := rt.(rio.GraphRunner); ok {
 //	    err = gr.RunGraph(g, kernel)
 //	}
+//
+// Every model's Runtime implements Streamer (the non-in-order models
+// through a per-window fallback), and the Timeout/Preflight decorators
+// preserve whatever optional interfaces the wrapped runtime offers — a
+// type assertion that succeeds on a bare engine succeeds on its wrapped
+// form too.
 func New(o Options) (Runtime, error) {
+	o, err := normalizeOptions(o)
+	if err != nil {
+		return nil, err
+	}
 	if o.Model == InOrder {
 		// The caching engine applies Timeout and Preflight itself, across
-		// both the closure and the compiled path.
+		// the closure, compiled and streaming paths.
 		return NewEngine(o)
 	}
 	rt, err := newEngine(o)
 	if err != nil {
 		return nil, err
 	}
-	if o.Preflight != 0 {
-		rt = &preflightRuntime{Runtime: rt, opts: o}
-	}
 	if o.Timeout > 0 {
-		rt = &deadlineRuntime{Runtime: rt, timeout: o.Timeout}
+		rt = withDeadline(rt, o.Timeout)
 	}
-	return rt, nil
+	// Stream windows execute on the deadline-wrapped form (each window is
+	// one bounded run) but bypass preflight, whose single-window view would
+	// misdiagnose cross-window dataflow; see withStreaming.
+	streamBase := rt
+	if o.Preflight != 0 {
+		rt = withPreflight(rt, o)
+	}
+	return withStreaming(rt, streamBase), nil
+}
+
+// normalizeOptions merges the grouped option sub-structs (Options.Tuning,
+// Options.Fault) with their flat aliases into one canonical form: after it
+// returns, each knob's two spellings agree, so the internal consumers
+// (coreOptions, the centralized branch, preflightConfig) keep reading the
+// flat fields. A knob set to conflicting values in both places is an error
+// — silently preferring one spelling would make the other a no-op.
+// Idempotent, so New and NewEngine may both apply it.
+func normalizeOptions(o Options) (Options, error) {
+	// Wait-tuning knobs. Zero means "unset" for all of them (the engines
+	// already treat zero as "use the default").
+	if o.Tuning.WaitPolicy != 0 && o.WaitPolicy != 0 && o.Tuning.WaitPolicy != o.WaitPolicy {
+		return o, optionConflict("WaitPolicy", "Tuning.WaitPolicy")
+	}
+	if o.Tuning.WaitPolicy != 0 {
+		o.WaitPolicy = o.Tuning.WaitPolicy
+	}
+	o.Tuning.WaitPolicy = o.WaitPolicy
+	if o.Tuning.SpinLimit != 0 && o.SpinLimit != 0 && o.Tuning.SpinLimit != o.SpinLimit {
+		return o, optionConflict("SpinLimit", "Tuning.SpinLimit")
+	}
+	if o.Tuning.SpinLimit != 0 {
+		o.SpinLimit = o.Tuning.SpinLimit
+	}
+	o.Tuning.SpinLimit = o.SpinLimit
+	if o.Tuning.YieldLimit != 0 && o.YieldLimit != 0 && o.Tuning.YieldLimit != o.YieldLimit {
+		return o, optionConflict("YieldLimit", "Tuning.YieldLimit")
+	}
+	if o.Tuning.YieldLimit != 0 {
+		o.YieldLimit = o.Tuning.YieldLimit
+	}
+	o.Tuning.YieldLimit = o.YieldLimit
+	if o.Tuning.SleepInit != 0 && o.SleepInit != 0 && o.Tuning.SleepInit != o.SleepInit {
+		return o, optionConflict("SleepInit", "Tuning.SleepInit")
+	}
+	if o.Tuning.SleepInit != 0 {
+		o.SleepInit = o.Tuning.SleepInit
+	}
+	o.Tuning.SleepInit = o.SleepInit
+	if o.Tuning.SleepMax != 0 && o.SleepMax != 0 && o.Tuning.SleepMax != o.SleepMax {
+		return o, optionConflict("SleepMax", "Tuning.SleepMax")
+	}
+	if o.Tuning.SleepMax != 0 {
+		o.SleepMax = o.Tuning.SleepMax
+	}
+	o.Tuning.SleepMax = o.SleepMax
+
+	// Fault knobs. Retry and Resume are pointers, comparable — the same
+	// pointer in both places is not a conflict. Snapshotter is an
+	// interface whose implementations (SnapshotFuncs) need not be
+	// comparable, so any doubly-set Snapshots is rejected outright.
+	if o.Fault.Retry != nil && o.Retry != nil && o.Fault.Retry != o.Retry {
+		return o, optionConflict("Retry", "Fault.Retry")
+	}
+	if o.Fault.Retry != nil {
+		o.Retry = o.Fault.Retry
+	}
+	o.Fault.Retry = o.Retry
+	if o.Fault.Snapshots != nil && o.Snapshots != nil {
+		return o, optionConflict("Snapshots", "Fault.Snapshots")
+	}
+	if o.Fault.Snapshots != nil {
+		o.Snapshots = o.Fault.Snapshots
+	}
+	// The flat field is the canonical home; unlike the other knobs it is
+	// not mirrored back, because a second normalization pass (New →
+	// NewEngine) must not see two copies of a possibly-uncomparable value
+	// and call them a conflict.
+	o.Fault.Snapshots = nil
+	if o.Fault.Resume != nil && o.Resume != nil && o.Fault.Resume != o.Resume {
+		return o, optionConflict("Resume", "Fault.Resume")
+	}
+	if o.Fault.Resume != nil {
+		o.Resume = o.Fault.Resume
+	}
+	o.Fault.Resume = o.Resume
+	o.Checkpoint = o.Checkpoint || o.Fault.Checkpoint
+	o.Fault.Checkpoint = o.Checkpoint
+	return o, nil
+}
+
+func optionConflict(flat, grouped string) error {
+	return fmt.Errorf("rio: Options.%s and Options.%s are set to different values; set one (the flat field is an alias of the grouped one)", flat, grouped)
 }
 
 // coreOptions is the single translation of the public Options into the

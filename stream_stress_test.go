@@ -1,0 +1,204 @@
+package rio_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"rio"
+)
+
+// TestStreamEpochRecycleStress pushes thousands of tiny windows through one
+// native streaming session under WaitPark, so dependency waits park on the
+// per-data waiter registry in nearly every window and the epoch barrier
+// recycles the registry's state (counters and park-channel epochs) right
+// behind them. What it proves, under -race:
+//
+//   - generation-counter recycling never resurrects a stale wakeup: a task
+//     that ran on a wakeup left over from a previous epoch would read its
+//     data before the predecessor in the *current* epoch wrote it, and the
+//     in-task oracle check below would trip;
+//   - per-window results match the sequential oracle window by window — the
+//     first task of window k+1 on each datum validates the final value
+//     window k left there, so a single corrupted epoch is pinned to its
+//     window instead of surfacing as a garbled final sum.
+//
+// The chains alternate owners (cyclic mapping, consecutive tasks on the
+// same datum), so every hand-off is a cross-worker dependency — the
+// worst case for the waiter registry and the best case for catching a
+// stale wakeup.
+func TestStreamEpochRecycleStress(t *testing.T) {
+	const (
+		numData = 4
+		workers = 4
+		chain   = 6 // RW tasks per datum per window -> 5 cross-worker hand-offs each
+	)
+	windows := 3000
+	if testing.Short() {
+		windows = 300
+	}
+	for _, mode := range []struct {
+		name      string
+		nocompile bool
+	}{
+		{"compiled", false}, // cached shape replay: recycle under compiled windows
+		{"closure", true},   // closure replay: recycle under the per-epoch divergence guard
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			eng, err := rio.NewEngine(rio.Options{
+				Workers: workers,
+				Tuning:  rio.TuningOptions{WaitPolicy: rio.WaitPark},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := eng.Stream(numData, rio.StreamOptions{NoCompile: mode.nocompile})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals := make([]int64, numData)   // runtime-managed data
+			oracle := make([]int64, numData) // producer-side sequential model
+			var mismatches atomic.Int64
+			report := func(d int, got, want int64, w int) {
+				if mismatches.Add(1) <= 5 {
+					t.Errorf("window %d, data %d: got %d, want %d", w, d, got, want)
+				}
+			}
+			for w := 0; w < windows; w++ {
+				for d := 0; d < numData; d++ {
+					d := d
+					w := w
+					// First link validates what the previous window left
+					// behind: a stale wakeup in window w-1 would have let a
+					// task skip its dependency and leave a wrong value here.
+					carried := oracle[d]
+					s.Submit(func() {
+						if vals[d] != carried {
+							report(d, vals[d], carried, w)
+						}
+						vals[d] = vals[d]*3 + int64(w&7) + 1
+					}, rio.RW(rio.DataID(d)))
+					oracle[d] = oracle[d]*3 + int64(w&7) + 1
+					for c := 1; c < chain; c++ {
+						c := c
+						s.Submit(func() { vals[d] += int64(c * (d + 1)) }, rio.RW(rio.DataID(d)))
+						oracle[d] += int64(c * (d + 1))
+					}
+				}
+				if err := s.Flush(); err != nil {
+					t.Fatalf("window %d: %v", w, err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for d := range vals {
+				if vals[d] != oracle[d] {
+					t.Errorf("final data %d: got %d, want %d", d, vals[d], oracle[d])
+				}
+			}
+			if n := mismatches.Load(); n > 0 {
+				t.Fatalf("%d window-boundary mismatches (stale wakeup or bad recycle)", n)
+			}
+			if got := s.Submitted(); got != int64(windows*numData*chain) {
+				t.Errorf("Submitted = %d, want %d", got, windows*numData*chain)
+			}
+		})
+	}
+}
+
+// TestStreamShapeChurnStress alternates window shapes (different data
+// subsets and dependency structures) across a long stream, so the shape
+// cache recompiles, evicts and replays while epochs recycle state under
+// it. Final values are checked against the oracle.
+func TestStreamShapeChurnStress(t *testing.T) {
+	const numData = 8
+	windows := 1200
+	if testing.Short() {
+		windows = 150
+	}
+	eng, err := rio.NewEngine(rio.Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := eng.Stream(numData, rio.StreamOptions{MaxShapes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, numData)
+	oracle := make([]int64, numData)
+	for w := 0; w < windows; w++ {
+		// 6 distinct shapes > MaxShapes 4, forcing eviction churn.
+		shape := w % 6
+		lo, hi := shape, shape+2
+		for d := lo; d <= hi; d++ {
+			d := d
+			s.Submit(func() { vals[d]++ }, rio.RW(rio.DataID(d)))
+			oracle[d]++
+		}
+		// A read-fan task: depends on every datum the window wrote.
+		accs := []rio.Access{rio.RW(rio.DataID(lo))}
+		for d := lo + 1; d <= hi; d++ {
+			accs = append(accs, rio.Read(rio.DataID(d)))
+		}
+		lo0 := lo
+		s.Submit(func() { vals[lo0] *= 2 }, accs...)
+		oracle[lo] *= 2
+		if err := s.Flush(); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for d := range vals {
+		if vals[d] != oracle[d] {
+			t.Errorf("data %d: got %d, want %d", d, vals[d], oracle[d])
+		}
+	}
+	hits, misses, entries := s.CacheStats()
+	if entries > 4 {
+		t.Errorf("shape cache exceeded MaxShapes: %d entries", entries)
+	}
+	if misses < 6 {
+		t.Errorf("expected recompiles under churn, got %d misses (%d hits)", misses, hits)
+	}
+}
+
+// TestStreamFallbackOracleStress runs a shorter cross-window chained flow
+// through the fallback backends under -race, so the windowed semantics are
+// exercised on every model, not just the native session.
+func TestStreamFallbackOracleStress(t *testing.T) {
+	windows := 200
+	if testing.Short() {
+		windows = 40
+	}
+	for _, m := range []rio.Model{rio.Centralized, rio.CentralizedWS, rio.Sequential} {
+		t.Run(fmt.Sprint(m), func(t *testing.T) {
+			rt, err := rio.New(rio.Options{Model: m, Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := rio.OpenStream(rt, 2, rio.StreamOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v0, v1, want0, want1 int64
+			for w := 0; w < windows; w++ {
+				s.Submit(func() { atomic.AddInt64(&v0, 1) }, rio.Write(0))
+				s.Submit(func() { atomic.AddInt64(&v1, atomic.LoadInt64(&v0)) }, rio.Read(0), rio.RW(1))
+				want0++
+				want1 += want0
+				if err := s.Flush(); err != nil {
+					t.Fatalf("window %d: %v", w, err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if atomic.LoadInt64(&v1) != want1 {
+				t.Errorf("v1 = %d, want %d", v1, want1)
+			}
+		})
+	}
+}
