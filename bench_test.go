@@ -555,6 +555,72 @@ func BenchmarkRetryOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkStealOverhead bounds the hot-path tax of the work-stealing
+// machinery when nobody steals. "nil-policy" is what every pre-existing
+// caller pays after the hybrid model landed: one pointer test per task
+// (the CI perf-regression gate holds it to the historical baseline).
+// "steal-armed" installs a policy on a *balanced* cyclic mapping, so no
+// worker ever finds a victim worth robbing: closure replay prices the
+// candidate-ring recording of foreign tasks, compiled replay prices the
+// (one-off) steal-metadata build plus the idle-probe path. Independent
+// empty-body tasks with NoAccounting make per-task engine overhead the
+// entire signal.
+func BenchmarkStealOverhead(b *testing.B) {
+	g := graphs.Independent(32768)
+	noop := func(*stf.Task, stf.WorkerID) {}
+	m := rio.CyclicMapping(benchWorkers)
+	pol := &rio.StealPolicy{}
+	for _, v := range []struct {
+		name     string
+		compiled bool
+		steal    *rio.StealPolicy
+	}{
+		{"nil-policy", false, nil},
+		{"steal-armed", false, pol},
+		{"nil-policy-compiled", true, nil},
+		{"steal-armed-compiled", true, pol},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			opts := rio.Options{
+				Workers: benchWorkers, Mapping: m, Steal: v.steal,
+				NoAccounting: true,
+			}
+			if v.compiled {
+				e, err := rio.NewEngine(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Compile (and build steal metadata) outside the timed
+				// region, as iterative workloads do.
+				if err := e.RunGraph(g, noop); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := e.RunGraph(g, noop); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				opts.Model = rio.InOrder
+				rt, err := rio.New(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				prog := rio.Replay(g, noop)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := rt.Run(g.NumData, prog); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(g.Tasks)), "ns/task")
+		})
+	}
+}
+
 // BenchmarkVerifyOverhead prices Options.Verify, the translation
 // validator run at every Engine cache miss. The steady-state cost must be
 // zero — certification happens once, at the miss, and cache hits replay

@@ -20,6 +20,10 @@
 //	                     spin, park, sleep) on contended readers-writer and
 //	                     reduction rounds plus the uncontended fig7 replay,
 //	                     reporting wall, ns/task and process CPU time
+//	rio-bench steal      work-stealing ablation: balanced vs skewed mapping ×
+//	                     steal off/on on both replay paths, with sleeping
+//	                     (I/O-like) task bodies — the hybrid model's headline
+//	                     matrix, reporting wall, ns/task and process CPU time
 //	rio-bench pipeline   streaming ablation: an unbounded flow of small-task
 //	                     windows through the Stream API — native in-order
 //	                     session (compiled shapes and closure replay) vs the
@@ -77,11 +81,13 @@ func run(args []string) error {
 		winSizes   = fs.String("window-sizes", "64,256,1024", "pipeline only: comma-separated tasks per window")
 		chainLen   = fs.Int("chain-len", 8, "pipeline only: dependency-chain depth within each window")
 		pipeSizes  = fs.String("pipeline-task-sizes", "0,100,1000", "pipeline only: counter task sizes (small: the streaming overhead regime)")
+		stealTasks = fs.Int("steal-tasks", 256, "steal only: independent task count n")
+		stealDur   = fs.Duration("steal-dur", 200*time.Microsecond, "steal only: sleeping task body duration")
 		exp        = fs.Int("experiment", 0, "fig8 only: restrict to one experiment 1..4 (0 = all)")
 		chromeOut  = fs.String("chrome", "", "replay only: also write a Chrome trace of one traced run to this file")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|replay|sync|pipeline|all}")
+		fmt.Fprintln(os.Stderr, "usage: rio-bench [flags] {fig2|fig3|fig4|fig6|fig7|fig8|sim|sim7|hpl|costmodel|ablation|replay|sync|steal|pipeline|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -198,6 +204,11 @@ func run(args []string) error {
 			Workers: *workers, Rounds: *rounds, Readers: r,
 			TasksPerWorker: *perW, TaskSize: *syncSize, BlockDur: *syncBlock,
 			SpinLimit: *syncSpin, YieldLimit: *syncYield,
+			Warmup: *warmup, Reps: *reps,
+		}))
+	case "steal":
+		err = addRows(bench.StealAblation(bench.StealConfig{
+			Workers: *workers, Tasks: *stealTasks, TaskDur: *stealDur,
 			Warmup: *warmup, Reps: *reps,
 		}))
 	case "pipeline":

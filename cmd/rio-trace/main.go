@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rio/internal/bench"
+	"rio/internal/core"
 	"rio/internal/graphs"
 	"rio/internal/kernels"
 	"rio/internal/sched"
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	taskSize := fs.Uint64("task-size", 5000, "synthetic task size (counter iterations)")
 	width := fs.Int("width", 100, "gantt width in columns")
 	chrome := fs.String("chrome", "", "write a Chrome trace (counter rows + dependency flow arrows) to this file; \"-\" for stdout")
+	steal := fs.Bool("steal", false, "enable work stealing (rio engine only); stolen tasks are drawn in the thief's lane with a hand-off arrow")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,14 +57,32 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	e, err := bench.NewEngine(kind, *workers, mapping)
+	var e bench.Engine
+	if *steal {
+		if kind != bench.RIO {
+			return fmt.Errorf("-steal applies to the rio engine only (got %q)", *engine)
+		}
+		e, err = core.New(core.Options{
+			Workers: *workers,
+			Mapping: mapping,
+			Steal:   &stf.StealPolicy{Victims: sched.RankVictims(g, mapping, *workers)},
+		})
+	} else {
+		e, err = bench.NewEngine(kind, *workers, mapping)
+	}
 	if err != nil {
 		return err
 	}
 
 	rec := trace.NewRecorder(*workers)
 	cells := kernels.NewCells(*workers)
-	kern := rec.Instrument(graphs.CounterKernel(cells, *taskSize))
+	base := graphs.CounterKernel(cells, *taskSize)
+	kern := rec.Instrument(base)
+	if *steal {
+		// Owner-aware spans: stolen tasks get the stolen_from annotation
+		// and a hand-off arrow in the Chrome export.
+		kern = rec.InstrumentOwned(base, mapping)
+	}
 	t0 := time.Now()
 	if err := e.Run(g.NumData, stf.Replay(g, kern)); err != nil {
 		return err

@@ -36,6 +36,24 @@ func TestRunTraceWorkloads(t *testing.T) {
 	}
 }
 
+// -steal runs the rio engine with a ranked-victim steal policy and
+// switches to owner-aware span recording; it is rejected for every other
+// engine.
+func TestRunTraceSteal(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-workload", "lu", "-size", "3", "-workers", "2",
+		"-task-size", "200", "-width", "30", "-steal"}
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "tasks") {
+		t.Errorf("steal run output truncated:\n%s", buf.String())
+	}
+	if err := run([]string{"-engine", "ws", "-steal"}, &buf); err == nil {
+		t.Error("-steal accepted for a non-rio engine")
+	}
+}
+
 func TestRunTraceRejectsUnknown(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-workload", "nope"}, &buf); err == nil {

@@ -164,6 +164,41 @@ func TestMappingPassSerializedWavefront(t *testing.T) {
 	}
 }
 
+// Every mapping-induced serialization finding carries an informational
+// escape hatch: the bound with stealing and the ranked victim list.
+func TestMappingPassStealEscape(t *testing.T) {
+	g := graphs.Wavefront(4, 4)
+	rep := analyze.Graph(g, analyze.Config{
+		Passes:  analyze.PassMapping,
+		Workers: 4,
+		Mapping: sched.Single(2),
+		InOrder: true,
+	})
+	mustFind(t, rep, analyze.CodeStealEscape)
+	var msg string
+	for _, f := range rep.Findings {
+		if f.Code == analyze.CodeStealEscape {
+			if f.Severity != analyze.Info {
+				t.Errorf("steal-escape severity = %v, want info (advice must not reject)", f.Severity)
+			}
+			msg = f.Message
+		}
+	}
+	// The victim ranking for a fully skewed mapping is the hot worker.
+	if !strings.Contains(msg, "Options.Steal") || !strings.Contains(msg, "Victims: [2]") {
+		t.Fatalf("steal-escape message lacks the suggestion or ranked victims: %q", msg)
+	}
+
+	// A healthy mapping gets no steal advice.
+	clean := analyze.Graph(g, analyze.Config{
+		Passes:  analyze.PassMapping,
+		Workers: 4,
+		Mapping: sched.Cyclic(4),
+		InOrder: true,
+	})
+	mustNotFind(t, clean, analyze.CodeStealEscape)
+}
+
 func TestMappingPassAcceptsParallelMapping(t *testing.T) {
 	g := graphs.Wavefront(4, 4)
 	rep := analyze.Graph(g, analyze.Config{

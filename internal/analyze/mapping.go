@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"rio/internal/sched"
 	"rio/internal/stf"
 )
 
@@ -145,5 +146,16 @@ func serializationCheck(rep *Report, g *stf.Graph, owners []stf.WorkerID, p int,
 			"mapping-induced serialization: in-order makespan lower bound is %d tasks "+
 				"vs critical path %d and balanced-load bound %d (inflation %.2fx)%s",
 			span, cp, loadBound, float64(span)/float64(ideal), detail)
+		// The serialization comes from ownership chains, which stealing
+		// dissolves: a thief executes an overloaded worker's next ready
+		// task, so with perfect stealing the bound falls back to
+		// max(critical path, balanced load) — the dependency and work
+		// limits no mapping can beat.
+		victims := sched.RankVictims(g, sched.Table(owners), p)
+		rep.addf(CodeStealEscape, Info, NoID, NoID, NoID,
+			"imbalance escapable by stealing: bound %d without vs ~%d with work "+
+				"stealing (%.2fx); set Options.Steal (e.g. &StealPolicy{Victims: %v}, "+
+				"ranked by RankVictims)",
+			span, ideal, float64(span)/float64(ideal), victims)
 	}
 }

@@ -115,6 +115,13 @@ const (
 	// critical path and the balanced-load bound (mapping-induced
 	// serialization, specific to the RIO model).
 	CodeSerialization Code = "RIO-M004"
+	// CodeStealEscape: the mapping-induced serialization above is
+	// escapable by dependency-safe work stealing — the makespan bound
+	// with Options.Steal falls back to max(critical path, balanced load).
+	// Informational companion to CodeSerialization, carrying the two
+	// bounds and the ranked victim list (sched.RankVictims) to put in
+	// StealPolicy.Victims.
+	CodeStealEscape Code = "RIO-M010"
 )
 
 // Determinism-lint and spec-conformance finding codes.

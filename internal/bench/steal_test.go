@@ -1,0 +1,58 @@
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	"rio/internal/bench"
+)
+
+// The steal ablation's own sanity contract: the full 2×2 matrix on both
+// replay paths, every row executing the whole flow, and the escape the
+// experiment exists to show — skewed+steal beating skewed alone. The
+// margin here is deliberately loose (the acceptance ratio is measured by
+// `rio-bench steal` at real scale); sleeping bodies make it hold even on
+// a single hardware thread.
+func TestStealAblation(t *testing.T) {
+	cfg := bench.StealConfig{
+		Workers: 3, Tasks: 48, TaskDur: 200 * time.Microsecond, Reps: 1,
+	}
+	rows, err := bench.StealAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (2 mappings × steal on/off × 2 replay paths)", len(rows))
+	}
+	wall := map[string]time.Duration{}
+	for _, r := range rows {
+		if r.Tasks != int64(cfg.Tasks) {
+			t.Errorf("%s/%s executed %d tasks, want %d", r.Engine, r.Policy, r.Tasks, cfg.Tasks)
+		}
+		if r.Wall <= 0 || r.CPU < 0 {
+			t.Errorf("bad row %+v", r)
+		}
+		wall[r.Engine+"/"+r.Policy] = r.Wall
+	}
+	for _, engine := range []string{"rio", "rio-compiled"} {
+		off, on := wall[engine+"/skewed/steal=off"], wall[engine+"/skewed/steal=on"]
+		if off == 0 || on == 0 {
+			t.Fatalf("%s: missing skewed rows (%v)", engine, wall)
+		}
+		if on >= off {
+			t.Errorf("%s: stealing did not beat the skewed serialization: on=%v off=%v", engine, on, off)
+		}
+	}
+}
+
+func TestStealAblationRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []bench.StealConfig{
+		{Workers: 1, Tasks: 48, TaskDur: time.Microsecond, Reps: 1},
+		{Workers: 3, Tasks: 2, TaskDur: time.Microsecond, Reps: 1},
+		{Workers: 3, Tasks: 48, Reps: 1},
+	} {
+		if _, err := bench.StealAblation(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}

@@ -60,6 +60,19 @@ func (t *claimTable) tryClaim(id int64) bool {
 	return word.Or(bit)&bit == 0
 }
 
+// claimed reports whether task id has been claimed, without claiming it and
+// without allocating pages: an id beyond the allocated pages is unclaimed by
+// definition. Steal scans use it to skip resolved candidates cheaply.
+func (t *claimTable) claimed(id int64) bool {
+	ps := *t.pages.Load()
+	idx := int(id >> claimPageBits)
+	if idx >= len(ps) {
+		return false
+	}
+	word := &ps[idx].bits[(id>>6)&((1<<(claimPageBits-6))-1)]
+	return word.Load()&(uint64(1)<<(uint(id)&63)) != 0
+}
+
 // page returns the page holding id, allocating it (and any gap before it)
 // if needed.
 func (t *claimTable) page(id int64) *claimPage {

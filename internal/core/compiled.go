@@ -43,7 +43,17 @@ func (e *Engine) RunCompiledContext(ctx context.Context, cp *stf.CompiledProgram
 		// completed tasks' micro-ops are dropped from every stream.
 		cp = stf.PruneCompleted(cp, e.resume)
 	}
+	// Steal metadata is derived from the (possibly pruned) program actually
+	// run, so resumed tasks are never stealable — consistently with every
+	// worker's stream having dropped them.
+	var meta *stf.StealMeta
+	if e.steal != nil {
+		meta = e.stealMetaFor(cp)
+	}
 	return e.run(ctx, cp.NumData, false, len(cp.Tasks), func(s *submitter) {
+		if s.steal != nil {
+			s.steal.reset(meta, cp.Tasks, k)
+		}
 		s.runStream(cp, k)
 	})
 }
@@ -66,6 +76,12 @@ func (s *submitter) runStream(cp *stf.CompiledProgram, k stf.Kernel) {
 // window to window. len(tasks) must equal len(cp.Tasks); the session
 // enforces this via the shape fingerprint before publishing a window.
 func (s *submitter) runStreamTasks(cp *stf.CompiledProgram, tasks []stf.Task, k stf.Kernel) {
+	if st := s.steal; st != nil && st.meta != nil {
+		// The steal-aware interpreter lives in its own loop so the
+		// nil-policy walk below keeps its single-pointer-test cost.
+		s.runStreamTasksSteal(cp, tasks, k)
+		return
+	}
 	stream := cp.Streams[s.worker]
 	for i := range stream {
 		in := &stream[i]
@@ -118,6 +134,112 @@ func (s *submitter) runStreamTasks(cp *stf.CompiledProgram, tasks []stf.Task, k 
 	// Executed is counted live, Declared is unavailable). Resume-pruned
 	// owned tasks are charged the same way. The counts accumulate so a
 	// streaming session's windows add up; one-shot runs start from zero.
+	s.ws.Declared += cp.Stats[s.worker].Declared
+	s.prog.StoreDeclared(s.ws.Declared)
+	if sk := cp.Stats[s.worker].Skipped; sk > 0 {
+		s.ws.Skipped += sk
+		s.prog.StoreSkipped(s.ws.Skipped)
+	}
+}
+
+// runStreamTasksSteal is the steal-enabled twin of the interpreter loop.
+// Owned tasks are claimed at their first micro-op — before the gets, which
+// is load-bearing: a stolen-and-executed task's terminates have already
+// advanced the shared counters past the values the owner's gets would wait
+// for, so the owner must decide *before* waiting. On a lost claim the
+// owner skips the task's gets and exec and converts its terminates into
+// the local declares it would have performed for any foreign task.
+func (s *submitter) runStreamTasksSteal(cp *stf.CompiledProgram, tasks []stf.Task, k stf.Kernel) {
+	stream := cp.Streams[s.worker]
+	cur := int32(-1) // owned task the current claim verdict applies to
+	lost := false    // cur was stolen
+	boundary := func(task int32) {
+		if task == cur {
+			return
+		}
+		cur = task
+		lost = !s.claims.tryClaim(int64(task))
+		if lost {
+			// A stolen own task is accounted like a foreign one; the
+			// compile-time Declared charge below never includes own tasks.
+			s.ws.Declared++
+			s.prog.StoreDeclared(s.ws.Declared)
+		}
+	}
+	for i := range stream {
+		in := &stream[i]
+		switch in.Op {
+		case stf.OpDeclareRead:
+			s.local[in.Data].declareRead()
+		case stf.OpDeclareWrite:
+			s.local[in.Data].declareWrite(int64(in.Task))
+		case stf.OpDeclareRed:
+			s.local[in.Data].declareRed()
+		case stf.OpGetRead:
+			boundary(in.Task)
+			if lost {
+				continue
+			}
+			s.getRead(stf.TaskID(in.Task), stf.Access{Data: in.Data, Mode: in.Mode})
+			if s.err != nil {
+				return // aborted while waiting
+			}
+		case stf.OpGetWrite:
+			boundary(in.Task)
+			if lost {
+				continue
+			}
+			s.getWrite(stf.TaskID(in.Task), stf.Access{Data: in.Data, Mode: in.Mode})
+			if s.err != nil {
+				return
+			}
+		case stf.OpGetRed:
+			boundary(in.Task)
+			if lost {
+				continue
+			}
+			s.getRed(stf.TaskID(in.Task), stf.Access{Data: in.Data, Mode: in.Mode})
+			if s.err != nil {
+				return
+			}
+		case stf.OpExec:
+			boundary(in.Task) // access-free tasks open with their exec
+			if lost {
+				continue
+			}
+			if s.abort.raised() {
+				s.fail(errAborted)
+				return
+			}
+			s.execCompiled(&tasks[in.Task], k)
+			if s.err != nil {
+				return // task failed terminally (retries exhausted)
+			}
+		case stf.OpTermRead:
+			if lost && in.Task == cur {
+				s.local[in.Data].declareRead()
+				continue
+			}
+			s.local[in.Data].terminateRead(&s.shared[in.Data])
+		case stf.OpTermWrite:
+			if lost && in.Task == cur {
+				s.local[in.Data].declareWrite(int64(in.Task))
+				continue
+			}
+			s.local[in.Data].terminateWrite(&s.shared[in.Data], int64(in.Task))
+		case stf.OpTermRed:
+			if lost && in.Task == cur {
+				s.local[in.Data].declareRed()
+				continue
+			}
+			s.local[in.Data].terminateRed(&s.shared[in.Data])
+		default:
+			err := fmt.Errorf("core: corrupt compiled stream: op %d at %d", in.Op, i)
+			s.fail(err)
+			s.abort.raise(err, false)
+			return
+		}
+	}
 	s.ws.Declared += cp.Stats[s.worker].Declared
 	s.prog.StoreDeclared(s.ws.Declared)
 	if sk := cp.Stats[s.worker].Skipped; sk > 0 {

@@ -80,13 +80,24 @@ type Options struct {
 	// policy, so a failed run's error carries a stf.PartialResult (and
 	// therefore a resumable stf.Checkpoint). Retry != nil implies it.
 	Checkpoint bool
+	// Steal enables bounded, dependency-safe work stealing: an idle worker
+	// (parked or past its spin budget in a dependency wait, or done with
+	// its own replay) may claim and execute a victim's next in-order task
+	// when the shared counter state proves all of its accesses available
+	// (see stf.StealPolicy and internal/core/steal.go). Nil (the default)
+	// keeps the paper's pure static model at one pointer test per task.
+	Steal *stf.StealPolicy
 }
 
 // Engine is a decentralized in-order STF execution engine. An Engine is
 // reusable (Run may be called repeatedly) but not concurrently.
 type Engine struct {
-	workers      int
-	mapping      stf.Mapping
+	workers int
+	// mapping is published atomically: SetMapping may race a run's start
+	// (the serving layer's cache-generation stress exercises exactly
+	// that), and each run snapshots one consistent mapping for all of its
+	// workers — a racing swap affects the next run, never a running one.
+	mapping      atomic.Pointer[stf.Mapping]
 	noAcct       bool
 	policy       stf.WaitPolicy
 	spinLimit    int
@@ -100,8 +111,14 @@ type Engine struct {
 	snaps        stf.Snapshotter
 	resume       *stf.Checkpoint
 	checkpoint   bool
-	stats        trace.Stats
-	progress     atomic.Pointer[trace.ProgressTable]
+	steal        *stf.StealPolicy
+	// stealMetaCache memoizes the steal metadata of the last compiled
+	// program run with stealing enabled (steady-state serving replays the
+	// same program, so one entry suffices; sessions keep their own
+	// per-shape map).
+	stealMetaCache atomic.Pointer[stealMetaEntry]
+	stats          trace.Stats
+	progress       atomic.Pointer[trace.ProgressTable]
 	// sessionActive latches while a streaming Session (OpenSession) owns the
 	// engine's workers; Run and a second OpenSession are rejected until the
 	// session is closed.
@@ -115,6 +132,19 @@ func New(o Options) (*Engine, error) {
 	}
 	if o.StallTimeout < 0 {
 		return nil, fmt.Errorf("core: negative StallTimeout %v", o.StallTimeout)
+	}
+	if p := o.Steal; p != nil {
+		if p.MaxScan < 0 {
+			return nil, fmt.Errorf("core: negative Steal.MaxScan %d", p.MaxScan)
+		}
+		if p.Buffer < 0 {
+			return nil, fmt.Errorf("core: negative Steal.Buffer %d", p.Buffer)
+		}
+		for _, v := range p.Victims {
+			if v < 0 || int(v) >= o.Workers {
+				return nil, fmt.Errorf("core: Steal.Victims entry %d out of range [0,%d)", v, o.Workers)
+			}
+		}
 	}
 	m := o.Mapping
 	if m == nil {
@@ -143,9 +173,8 @@ func New(o Options) (*Engine, error) {
 	if sm < si {
 		sm = si
 	}
-	return &Engine{
+	e := &Engine{
 		workers:      o.Workers,
-		mapping:      m,
 		noAcct:       o.NoAccounting,
 		policy:       o.WaitPolicy,
 		spinLimit:    sl,
@@ -159,7 +188,28 @@ func New(o Options) (*Engine, error) {
 		snaps:        o.Snapshots,
 		resume:       o.Resume,
 		checkpoint:   o.Checkpoint || o.Retry != nil,
-	}, nil
+		steal:        o.Steal,
+	}
+	e.mapping.Store(&m)
+	return e, nil
+}
+
+// stealMetaEntry is the engine's one-entry compiled steal-metadata cache.
+type stealMetaEntry struct {
+	cp   *stf.CompiledProgram
+	meta *stf.StealMeta
+}
+
+// stealMetaFor returns (building and memoizing if needed) the steal
+// metadata of cp. Engine runs are serialized, but the pointer is atomic so
+// a concurrent Progress reader can never observe a torn cache.
+func (e *Engine) stealMetaFor(cp *stf.CompiledProgram) *stf.StealMeta {
+	if c := e.stealMetaCache.Load(); c != nil && c.cp == cp {
+		return c.meta
+	}
+	m := stf.BuildStealMeta(cp)
+	e.stealMetaCache.Store(&stealMetaEntry{cp: cp, meta: m})
+	return m
 }
 
 // Name identifies the execution model in reports.
@@ -169,14 +219,16 @@ func (e *Engine) Name() string { return "rio" }
 func (e *Engine) NumWorkers() int { return e.workers }
 
 // SetMapping replaces the engine's task mapping for subsequent runs. A nil
-// mapping restores the default cyclic one. Must not be called while a run
-// is in flight.
+// mapping restores the default cyclic one. The swap is atomic: a call
+// racing an in-flight run cannot corrupt it (each run snapshots the
+// mapping once at its start), but which runs observe the new mapping is
+// then up to the race.
 func (e *Engine) SetMapping(m stf.Mapping) {
 	if m == nil {
 		p := e.workers
 		m = func(id stf.TaskID) stf.WorkerID { return stf.WorkerID(id % stf.TaskID(p)) }
 	}
-	e.mapping = m
+	e.mapping.Store(&m)
 }
 
 // Run executes prog over numData data objects. Every worker replays prog
@@ -270,12 +322,15 @@ func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace
 	if e.stallTimeout > 0 {
 		health = make([]workerHealth, e.workers)
 	}
+	// One mapping snapshot for the whole run: every worker must resolve
+	// ownership identically even if SetMapping races the run's start.
+	mapping := *e.mapping.Load()
 	subs := make([]*submitter, e.workers)
 	for w := range subs {
 		subs[w] = &submitter{
 			eng:        e,
 			worker:     stf.WorkerID(w),
-			mapping:    e.mapping,
+			mapping:    mapping,
 			shared:     shared,
 			local:      arena.worker(w),
 			claims:     claims,
@@ -293,6 +348,9 @@ func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace
 		}
 		if guard {
 			subs[w].guard = &guardState{}
+		}
+		if e.steal != nil {
+			subs[w].steal = newStealState(e.steal, stf.WorkerID(w), e.workers)
 		}
 	}
 
@@ -319,6 +377,11 @@ func (e *Engine) execute(ctx context.Context, numData int, guard bool, rp *trace
 				s.ws.Wall = time.Since(t0)
 			}()
 			body(s)
+			if s.steal != nil && s.err == nil {
+				// Replay done: keep eating other workers' backlogs until
+				// every stealable task has an executor.
+				s.stealDrain()
+			}
 		}(s)
 	}
 
@@ -475,6 +538,7 @@ type submitter struct {
 	snaps   stf.Snapshotter     // write-set capture for retry rollback
 	resume  *stf.Checkpoint     // completed tasks of a previous run to skip
 	track   bool                // log completed tasks for checkpoints
+	steal   *stealState         // nil unless Options.Steal is set
 	done    []stf.TaskID        // tasks this worker completed (track only)
 	ws      trace.WorkerStats
 	err     error
@@ -492,21 +556,27 @@ type submitter struct {
 var errAborted = errors.New("aborted after a failure elsewhere in the run")
 
 // owns resolves the executor of task id for this worker: statically via
-// the mapping, or dynamically (first-to-reach claim) for SharedWorker
-// tasks. It reports whether this worker executes the task; ok is false on
-// a mapping error (already recorded via fail).
-func (s *submitter) owns(id stf.TaskID) (execute, ok bool) {
-	owner := s.mapping(id)
+// the mapping, dynamically (first-to-reach claim) for SharedWorker tasks,
+// or by claim CAS for the worker's own tasks when stealing is enabled — a
+// lost self-claim means a thief proved the task ready and took it, and the
+// owner treats it like any foreign task (declare only). It reports whether
+// this worker executes the task and who its static owner is; ok is false
+// on a mapping error (already recorded via fail).
+func (s *submitter) owns(id stf.TaskID) (execute bool, owner stf.WorkerID, ok bool) {
+	owner = s.mapping(id)
 	switch {
 	case owner == s.worker:
-		return true, true
+		if s.steal != nil && !s.claims.tryClaim(int64(id)) {
+			return false, owner, true
+		}
+		return true, owner, true
 	case owner == stf.SharedWorker:
 		if s.claims.tryClaim(int64(id)) {
 			s.ws.Claimed++
 			s.prog.StoreClaimed(s.ws.Claimed)
-			return true, true
+			return true, owner, true
 		}
-		return false, true
+		return false, owner, true
 	case owner < 0 || int(owner) >= s.eng.workers:
 		err := fmt.Errorf("core: mapping(%d) = %d out of range [0,%d)", id, owner, s.eng.workers)
 		s.fail(err)
@@ -514,9 +584,9 @@ func (s *submitter) owns(id stf.TaskID) (execute, ok bool) {
 		// worker may be blocked on this task's data rather than reach
 		// this point itself — raise the abort so nobody waits forever.
 		s.abort.raise(err, false)
-		return false, false
+		return false, owner, false
 	default:
-		return false, true
+		return false, owner, true
 	}
 }
 
@@ -570,7 +640,7 @@ func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
 	if s.guard != nil {
 		s.guard.fold(id, t.Accesses)
 	}
-	execute, ok := s.owns(id)
+	execute, owner, ok := s.owns(id)
 	if !ok {
 		return
 	}
@@ -587,6 +657,9 @@ func (s *submitter) submitRecorded(t *stf.Task, k stf.Kernel) {
 			}
 		}
 	} else {
+		if st := s.steal; st != nil && owner != s.worker && st.wants(owner) {
+			s.recordStealCand(owner, id, t.Accesses, func() { k(t, s.worker) })
+		}
 		s.declare(t.Accesses, int64(id))
 		s.ws.Declared++
 		s.prog.StoreDeclared(s.ws.Declared)
@@ -662,7 +735,7 @@ func (s *submitter) submit(id stf.TaskID, accesses []stf.Access, run func()) {
 	if s.guard != nil {
 		s.guard.fold(id, accesses)
 	}
-	execute, ok := s.owns(id)
+	execute, owner, ok := s.owns(id)
 	if !ok {
 		return
 	}
@@ -679,6 +752,9 @@ func (s *submitter) submit(id stf.TaskID, accesses []stf.Access, run func()) {
 			}
 		}
 	} else {
+		if st := s.steal; st != nil && owner != s.worker && st.wants(owner) {
+			s.recordStealCand(owner, id, accesses, run)
+		}
 		s.declare(accesses, int64(id))
 		s.ws.Declared++
 		s.prog.StoreDeclared(s.ws.Declared)

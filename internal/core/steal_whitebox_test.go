@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rio/internal/stf"
+)
+
+// TestStealStateVictimResolution: the policy's ranked list is deduped and
+// self-filtered; an empty list resolves to the neighbor ring after self.
+func TestStealStateVictimResolution(t *testing.T) {
+	ranked := newStealState(&stf.StealPolicy{Victims: []stf.WorkerID{2, 1, 2, 1, 3}}, 1, 4)
+	if got, want := ranked.victims, []stf.WorkerID{2, 3}; !equalVictims(got, want) {
+		t.Errorf("ranked victims = %v, want %v", got, want)
+	}
+	if ranked.victimSet[1] || !ranked.victimSet[2] || !ranked.victimSet[3] || ranked.victimSet[0] {
+		t.Errorf("ranked victimSet = %v", ranked.victimSet)
+	}
+
+	ring := newStealState(&stf.StealPolicy{}, 2, 4)
+	if got, want := ring.victims, []stf.WorkerID{3, 0, 1}; !equalVictims(got, want) {
+		t.Errorf("neighbor-ring victims = %v, want %v", got, want)
+	}
+	if len(ring.cursors) != len(ring.victims) {
+		t.Errorf("cursors len %d, victims len %d", len(ring.cursors), len(ring.victims))
+	}
+
+	solo := newStealState(&stf.StealPolicy{}, 0, 1)
+	if len(solo.victims) != 0 {
+		t.Errorf("single-worker engine has victims %v", solo.victims)
+	}
+}
+
+// TestStealEpochQuiescence: steal state never survives an epoch boundary.
+// After a streaming session drains, every worker's candidate ring must be
+// empty — the end-of-window drain runs before the barrier arrival, so a
+// candidate recorded in window k can never be claimed or executed once
+// window k's epoch has been recycled. The windows here are fully skewed
+// with slow tasks, so the rings are heavily exercised.
+func TestStealEpochQuiescence(t *testing.T) {
+	const (
+		numData = 8
+		windows = 6
+	)
+	e, err := New(Options{
+		Workers: 3,
+		Mapping: func(stf.TaskID) stf.WorkerID { return 0 },
+		Steal:   &stf.StealPolicy{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := e.OpenSession(numData, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+
+	tasks := make([]stf.Task, numData)
+	for i := range tasks {
+		tasks[i] = stf.Task{ID: stf.TaskID(i), Accesses: []stf.Access{stf.W(stf.DataID(i))}}
+	}
+	touched := make([]stf.DataID, numData)
+	for i := range touched {
+		touched[i] = stf.DataID(i)
+	}
+	kern := func(*stf.Task, stf.WorkerID) { time.Sleep(100 * time.Microsecond) }
+
+	var stolen int64
+	for w := 0; w < windows; w++ {
+		if err := ss.Flush(WindowRun{Tasks: tasks, Kernel: kern, Touched: touched}); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if err := ss.Drain(); err != nil {
+			t.Fatalf("drain after window %d: %v", w, err)
+		}
+		// The barrier has passed: every worker finished its replay AND its
+		// steal drain. Any candidate still in a ring here could be claimed
+		// against recycled counters in the next epoch.
+		for wk, sub := range ss.subs {
+			if sub.steal == nil {
+				t.Fatalf("worker %d has no steal state", wk)
+			}
+			if n := len(sub.steal.ring); n != 0 {
+				t.Errorf("window %d: worker %d ring holds %d candidates at the epoch boundary", w, wk, n)
+			}
+			stolen += sub.ws.Stolen
+		}
+	}
+	if stolen == 0 {
+		t.Error("quiescence test exercised no steals")
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalVictims(got, want []stf.WorkerID) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -62,6 +62,10 @@ type windowSpec struct {
 	claims *claimTable
 	timer  *time.Timer
 	closed bool
+	// stealMeta carries the compiled window shape's steal metadata when the
+	// session's engine has stealing enabled (nil for closure windows, which
+	// record candidates live). Published with the spec, read-only after.
+	stealMeta *stf.StealMeta
 }
 
 var errSessionClosed = errors.New("core: session is closed")
@@ -85,6 +89,11 @@ type Session struct {
 
 	spec      *windowSpec // current window; owned by the flusher between barriers
 	published uint64
+
+	// stealMetas caches steal metadata per compiled window shape (producer
+	// side only; bounded by the caller's shape cache, which reuses
+	// *CompiledProgram values for recurring shapes).
+	stealMetas map[*stf.CompiledProgram]*stf.StealMeta
 
 	arrivals atomic.Int32
 	wg       sync.WaitGroup
@@ -126,7 +135,7 @@ func (e *Engine) OpenSession(numData int, timeout time.Duration) (*Session, erro
 		shared:  shared,
 		prog:    rp,
 	}
-	mapping := e.mapping
+	mapping := *e.mapping.Load()
 	ss.subs = make([]*submitter, e.workers)
 	for w := range ss.subs {
 		ss.subs[w] = &submitter{
@@ -140,6 +149,9 @@ func (e *Engine) OpenSession(numData int, timeout time.Duration) (*Session, erro
 			retry:      e.retry,
 			snaps:      e.snaps,
 			spinBudget: e.spinLimit,
+		}
+		if e.steal != nil {
+			ss.subs[w].steal = newStealState(e.steal, stf.WorkerID(w), e.workers)
 		}
 	}
 	ss.wg.Add(e.workers)
@@ -201,6 +213,17 @@ func (ss *Session) Flush(wr WindowRun) error {
 		spec.timer = time.AfterFunc(d, func() {
 			ab.raise(fmt.Errorf("core: stream window exceeded its %v timeout", d), true)
 		})
+	}
+	if ss.eng.steal != nil && wr.Compiled != nil {
+		if ss.stealMetas == nil {
+			ss.stealMetas = make(map[*stf.CompiledProgram]*stf.StealMeta)
+		}
+		meta := ss.stealMetas[wr.Compiled]
+		if meta == nil {
+			meta = stf.BuildStealMeta(wr.Compiled)
+			ss.stealMetas[wr.Compiled] = meta
+		}
+		spec.stealMeta = meta
 	}
 	if h := ss.eng.hooks; h != nil && h.OnRunStart != nil {
 		h.OnRunStart(ss.eng.workers, ss.numData)
@@ -303,12 +326,22 @@ func (ss *Session) runWindow(s *submitter, spec *windowSpec) {
 			spec.abort.raise(err, false)
 		}
 	}()
+	if st := s.steal; st != nil {
+		st.reset(spec.stealMeta, spec.Tasks, spec.Kernel)
+	}
 	if cp := spec.Compiled; cp != nil {
 		s.runStreamTasks(cp, spec.Tasks, spec.Kernel)
-		return
+	} else {
+		for i := range spec.Tasks {
+			s.submitRecorded(&spec.Tasks[i], spec.Kernel)
+		}
 	}
-	for i := range spec.Tasks {
-		s.submitRecorded(&spec.Tasks[i], spec.Kernel)
+	if s.steal != nil && s.err == nil {
+		// Drain before arriving: every candidate of this window gets an
+		// executor inside this epoch, so no steal crosses the barrier
+		// (candidate state is also reset above — window-local by
+		// construction).
+		s.stealDrain()
 	}
 }
 

@@ -117,6 +117,21 @@ func (s *submitter) wait(id stf.TaskID, a stf.Access, sh *sharedState, cond func
 				s.fail(errAborted)
 				break
 			}
+			// A provably idle worker (slow-phase wait) is the steal
+			// trigger: one bounded attempt per slow iteration, then back
+			// to the condition (a stolen task may have been our own
+			// blocker's producer — or our own task, taken by a thief).
+			if s.steal != nil && s.trySteal() {
+				if s.err != nil {
+					break // terminal stolen-task failure: unwind below
+				}
+				if published {
+					// The steal published exec health; restore the wait
+					// diagnosis for the watchdog.
+					s.health.setWait(id, a)
+				}
+				continue
+			}
 			switch policy {
 			case stf.WaitSleep:
 				time.Sleep(sleep)
@@ -126,7 +141,13 @@ func (s *submitter) wait(id stf.TaskID, a stf.Access, sh *sharedState, cond func
 			case stf.WaitSpin:
 				runtime.Gosched()
 			default: // WaitAdaptive, WaitPark
-				if !s.park(sh, cond) {
+				if s.steal != nil {
+					// Park one wake/backstop round at a time so parked
+					// workers keep making steal attempts.
+					if !s.parkOnce(sh, cond) {
+						s.fail(errAborted)
+					}
+				} else if !s.park(sh, cond) {
 					s.fail(errAborted)
 				}
 			}
@@ -204,4 +225,34 @@ func (s *submitter) park(sh *sharedState, cond func() bool) bool {
 		}
 		t.Stop()
 	}
+}
+
+// parkOnce is park's single-round variant for steal-enabled runs: register,
+// block until one wake or one backstop expiry, deregister. The caller's
+// wait loop re-checks the condition and interleaves steal attempts between
+// rounds. Returns false when the run aborted. The registration/fetch/
+// re-check ordering is the same lost-wakeup-free protocol as park's.
+func (s *submitter) parkOnce(sh *sharedState, cond func() bool) bool {
+	sh.waiters.Add(1)
+	defer sh.waiters.Add(-1)
+	ch := sh.parkChan()
+	if cond() {
+		return true
+	}
+	if s.abort.raised() {
+		return false
+	}
+	t := s.parkTimer
+	if t == nil {
+		t = time.NewTimer(s.eng.sleepMax)
+		s.parkTimer = t
+	} else {
+		t.Reset(s.eng.sleepMax)
+	}
+	select {
+	case <-ch:
+	case <-t.C:
+	}
+	t.Stop()
+	return !s.abort.raised()
 }

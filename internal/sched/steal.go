@@ -1,0 +1,32 @@
+package sched
+
+import (
+	"sort"
+
+	"rio/internal/stf"
+)
+
+// RankVictims ranks the workers of a mapping as steal victims, for use as
+// StealPolicy.Victims: every worker owning at least one task of g under m,
+// ordered by descending owned-task count with ties broken by ascending
+// worker ID. Thieves scanning in this order probe the most overloaded
+// workers first — where stealable work is most likely to sit — instead of
+// the neighbor-ring default. Callers may truncate the list to bound the
+// scan further. Tasks without a static owner (stf.SharedWorker) are
+// claimed dynamically anyway and do not count.
+func RankVictims(g *stf.Graph, m stf.Mapping, p int) []stf.WorkerID {
+	h := Histogram(g, m, p)
+	out := make([]stf.WorkerID, 0, p)
+	for w, n := range h {
+		if n > 0 {
+			out = append(out, stf.WorkerID(w))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if h[out[a]] != h[out[b]] {
+			return h[out[a]] > h[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}

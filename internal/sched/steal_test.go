@@ -1,0 +1,45 @@
+package sched_test
+
+import (
+	"testing"
+
+	"rio/internal/graphs"
+	"rio/internal/sched"
+	"rio/internal/stf"
+)
+
+func TestRankVictimsSkewed(t *testing.T) {
+	g := graphs.Independent(10)
+	owners := []stf.WorkerID{0, 0, 0, 0, 0, 2, 2, 2, 1, 1}
+	got := sched.RankVictims(g, sched.Table(owners), 4)
+	want := []stf.WorkerID{0, 2, 1} // loads 5, 3, 2; worker 3 owns nothing
+	if len(got) != len(want) {
+		t.Fatalf("RankVictims = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankVictims = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankVictimsTieBreak(t *testing.T) {
+	g := graphs.Independent(6)
+	got := sched.RankVictims(g, sched.Cyclic(3), 3)
+	// Equal loads: ascending worker IDs, deterministically.
+	want := []stf.WorkerID{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RankVictims = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankVictimsSharedExcluded(t *testing.T) {
+	g := graphs.Independent(4)
+	m := sched.Partial(sched.Single(1), func(id stf.TaskID) bool { return id < 2 })
+	got := sched.RankVictims(g, m, 2)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("RankVictims = %v, want [1]", got)
+	}
+}

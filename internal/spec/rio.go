@@ -37,7 +37,8 @@ func (m *Model) rioTerminated(s rioState) uint64 {
 
 // rioSuccessors appends every successor of s to buf. Unlike STF, an idle
 // worker has at most one candidate: the *first* unexecuted task of its own
-// list (in-order execution).
+// list (in-order execution). The optional transitions (Retry rollback,
+// Steal) are enumerated inline by CheckRIO and SampleRIO.
 func (m *Model) rioSuccessors(s rioState, buf []rioState) []rioState {
 	terminated := m.rioTerminated(s)
 	for w := 0; w < m.workers; w++ {
@@ -93,6 +94,23 @@ type RIOOptions struct {
 	// reachable STF state and re-execution is ready under STF rules — i.e.
 	// retried runs stay sequentially consistent.
 	Retry bool
+	// Steal adds the work-stealing transition of Options.Steal: an idle
+	// worker (the thief) may execute the *next* unexecuted task of any
+	// other worker (the victim) when the task is ready, advancing the
+	// victim's position — the model-level image of the claim-table CAS:
+	// the owner skips a claimed slot as if it had run the task, the thief
+	// holds it in its execution register. Checking with Steal confirms the
+	// hybrid model still refines STF: every state with a foreign task in
+	// flight projects onto a reachable STF state, and a stolen step obeys
+	// the same readiness predicate as an in-order one.
+	Steal bool
+	// UnsafeSteal is a negative control for the steal transition: thieves
+	// use a readiness rule that ignores earlier readers (a StealReq.Ready
+	// that dropped the read-count comparison). Checking a model with this
+	// mutation must FAIL on task flows with read-then-write patterns —
+	// proof that the refinement step check covers stolen executions too.
+	// Implies Steal.
+	UnsafeSteal bool
 }
 
 // CheckRIO exhaustively explores the Run-In-Order model, verifying
@@ -112,6 +130,11 @@ func (m *Model) CheckRIO(opts RIOOptions) *Result {
 	}
 	ready := func(t int, terminated uint64) bool {
 		return blockers[t]&^terminated == 0
+	}
+	stealing := opts.Steal || opts.UnsafeSteal
+	stealBlockers := blockers
+	if opts.UnsafeSteal {
+		stealBlockers = m.unsoundBlockers()
 	}
 
 	var stfStates map[stfState]struct{}
@@ -156,11 +179,18 @@ func (m *Model) CheckRIO(opts RIOOptions) *Result {
 						// task again. The restored state must be (and is)
 						// a previously reachable one — the model has no
 						// memory of the failed attempt, which is exactly
-						// the write-set-rollback guarantee.
-						r := s
-						r.active[w] = idle
-						r.pos[w]--
-						buf = append(buf, r)
+						// the write-set-rollback guarantee. Only a task
+						// from the worker's own queue rolls back to a
+						// queue position; a *stolen* task is retried in
+						// place by the thief (write-set restore, same
+						// executor), which is a model stutter — no
+						// transition.
+						if p := int(s.pos[w]); p > 0 && m.owned[w][p-1] == s.active[w] {
+							r := s
+							r.active[w] = idle
+							r.pos[w]--
+							buf = append(buf, r)
+						}
 					}
 					continue
 				}
@@ -181,6 +211,42 @@ func (m *Model) CheckRIO(opts RIOOptions) *Result {
 				n.pos[w] = uint8(p + 1)
 				n.active[w] = int8(t)
 				buf = append(buf, n)
+			}
+			if stealing {
+				// Steal transitions: an idle thief takes any victim's
+				// next unexecuted task if it is ready. The victim's
+				// position advances (the owner will skip the claimed
+				// slot, declaring as if it had run the task) while the
+				// task executes in the thief's register — so the race
+				// and refinement invariants above inspect exactly the
+				// states the hybrid engine can reach.
+				for w := 0; w < m.workers; w++ {
+					if s.active[w] != idle {
+						continue
+					}
+					for v := 0; v < m.workers; v++ {
+						if v == w {
+							continue
+						}
+						p := int(s.pos[v])
+						if p >= len(m.owned[v]) {
+							continue
+						}
+						t := int(m.owned[v][p])
+						if stealBlockers[t]&^terminated != 0 {
+							continue
+						}
+						// Refinement, step part: a stolen execution must
+						// be ready under the *STF* rules like any other.
+						if !m.taskReady(t, terminated) {
+							res.violate("RIO: steal executes task %d not ready under STF semantics", t)
+						}
+						n := s
+						n.pos[v] = uint8(p + 1)
+						n.active[w] = int8(t)
+						buf = append(buf, n)
+					}
+				}
 			}
 			res.Generated += int64(len(buf))
 			if len(buf) == 0 {

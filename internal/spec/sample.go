@@ -61,6 +61,11 @@ func (m *Model) SampleRIO(runs int, seed int64, opts RIOOptions) *Result {
 	if opts.SkipReadBlockers {
 		blockers = m.unsoundBlockers()
 	}
+	stealing := opts.Steal || opts.UnsafeSteal
+	stealBlockers := blockers
+	if opts.UnsafeSteal {
+		stealBlockers = m.unsoundBlockers()
+	}
 	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[rioState]struct{})
 	for r := 0; r < runs; r++ {
@@ -103,6 +108,35 @@ func (m *Model) SampleRIO(runs int, seed int64, opts RIOOptions) *Result {
 				n.pos[w] = uint8(p + 1)
 				n.active[w] = int8(t)
 				next = append(next, n)
+			}
+			if stealing {
+				// Steal transitions, as in CheckRIO: an idle thief may
+				// take a victim's next unexecuted ready task.
+				for w := 0; w < m.workers; w++ {
+					if s.active[w] != idle {
+						continue
+					}
+					for v := 0; v < m.workers; v++ {
+						if v == w {
+							continue
+						}
+						p := int(s.pos[v])
+						if p >= len(m.owned[v]) {
+							continue
+						}
+						t := int(m.owned[v][p])
+						if stealBlockers[t]&^terminated != 0 {
+							continue
+						}
+						if !m.taskReady(t, terminated) {
+							res.violate("RIO(sample): steal executes task %d not ready under STF semantics", t)
+						}
+						n := s
+						n.pos[v] = uint8(p + 1)
+						n.active[w] = int8(t)
+						next = append(next, n)
+					}
+				}
 			}
 			if len(next) == 0 {
 				res.violate("RIO(sample): deadlock in state pos=%v active=%v", s.pos, s.active)

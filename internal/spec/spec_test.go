@@ -166,6 +166,140 @@ func TestRIORetryDoesNotMaskUnsoundness(t *testing.T) {
 	}
 }
 
+// The work-stealing transition (an idle worker executes a victim's next
+// in-order task when the counter state proves it ready) must preserve
+// every invariant: no data race, refinement of STF, and termination still
+// reachable. This is the model-level safety argument for Options.Steal.
+func TestRIOStealOnLUInstances(t *testing.T) {
+	for _, sz := range [][2]int{{2, 2}, {3, 2}} {
+		g := graphs.LURect(sz[0], sz[1])
+		m := mustModel(t, g, 2, sched.Cyclic(2))
+		res := m.CheckRIO(spec.RIOOptions{Steal: true})
+		if !res.OK() {
+			t.Errorf("%dx%d with steal: %v", sz[0], sz[1], res.Violations)
+		}
+		// Stealing enlarges the reachable space (tasks execute on
+		// non-owner workers) but every extra state still refines STF.
+		base := m.CheckRIO(spec.RIOOptions{})
+		if res.Distinct <= base.Distinct {
+			t.Errorf("%dx%d: steal added no states (%d <= %d)",
+				sz[0], sz[1], res.Distinct, base.Distinct)
+		}
+		if res.Generated <= base.Generated {
+			t.Errorf("%dx%d: steal added no transitions (%d <= %d)",
+				sz[0], sz[1], res.Generated, base.Generated)
+		}
+	}
+}
+
+// Steal composed with the rollback transition: a stolen task that fails is
+// retried in place by the thief, an own task rolls back to its queue slot;
+// the combination must preserve all invariants.
+func TestRIOStealWithRetry(t *testing.T) {
+	for _, sz := range [][2]int{{2, 2}, {3, 2}} {
+		g := graphs.LURect(sz[0], sz[1])
+		m := mustModel(t, g, 2, sched.Cyclic(2))
+		if res := m.CheckRIO(spec.RIOOptions{Steal: true, Retry: true}); !res.OK() {
+			t.Errorf("%dx%d steal+retry: %v", sz[0], sz[1], res.Violations)
+		}
+	}
+}
+
+// Skewed mapping — the case stealing exists for: every task owned by
+// worker 0, workers 1..n idle unless they steal. The hybrid model must
+// still refine STF, and the thief transitions must actually fire (the
+// state space grows).
+func TestRIOStealSkewedMapping(t *testing.T) {
+	g := graphs.LURect(3, 2)
+	m := mustModel(t, g, 3, sched.Single(0))
+	base := m.CheckRIO(spec.RIOOptions{})
+	if !base.OK() {
+		t.Fatalf("skewed base: %v", base.Violations)
+	}
+	res := m.CheckRIO(spec.RIOOptions{Steal: true})
+	if !res.OK() {
+		t.Errorf("skewed steal: %v", res.Violations)
+	}
+	if res.Distinct <= base.Distinct {
+		t.Errorf("no thief transition fired: %d <= %d distinct states", res.Distinct, base.Distinct)
+	}
+}
+
+// Negative control: an unsound steal readiness rule (one that ignores
+// earlier readers, as a StealReq.Ready with the read-count comparison
+// dropped would) must be caught by the refinement step check on a WAR
+// flow — stealing must not open a soundness hole the checker cannot see.
+func TestRIOUnsafeStealCaught(t *testing.T) {
+	g := stf.NewGraph("war-steal", 1)
+	g.Add(0, 0, 0, 0, stf.R(0)) // reader on worker 0
+	g.Add(0, 1, 0, 0, stf.W(0)) // writer on worker 1, stealable by worker 0
+	m := mustModel(t, g, 2, sched.Cyclic(2))
+	if res := m.CheckRIO(spec.RIOOptions{Steal: true}); !res.OK() {
+		t.Fatalf("sound steal model failed: %v", res.Violations)
+	}
+	res := m.CheckRIO(spec.RIOOptions{UnsafeSteal: true})
+	if res.OK() {
+		t.Error("unsound steal readiness not caught")
+	}
+}
+
+// Negative control: enabling steal must not mask the dropped WAR ordering
+// of the base in-order rule either.
+func TestRIOStealDoesNotMaskUnsoundness(t *testing.T) {
+	g := stf.NewGraph("war-steal-mask", 1)
+	g.Add(0, 0, 0, 0, stf.W(0))
+	g.Add(0, 1, 0, 0, stf.R(0))
+	g.Add(0, 2, 0, 0, stf.W(0))
+	m := mustModel(t, g, 2, sched.Cyclic(2))
+	res := m.CheckRIO(spec.RIOOptions{Steal: true, SkipReadBlockers: true})
+	if res.OK() {
+		t.Error("steal masked the dropped read→write ordering")
+	}
+}
+
+// The sampling checker explores the same steal transitions; the unsound
+// steal rule must be caught there as well (random walks on a two-task WAR
+// flow hit the bad interleaving almost surely).
+func TestRIOSampleSteal(t *testing.T) {
+	g := stf.NewGraph("war-sample", 1)
+	g.Add(0, 0, 0, 0, stf.R(0))
+	g.Add(0, 1, 0, 0, stf.W(0))
+	m := mustModel(t, g, 2, sched.Cyclic(2))
+	if res := m.SampleRIO(200, 1, spec.RIOOptions{Steal: true}); !res.OK() {
+		t.Fatalf("sound steal sampling failed: %v", res.Violations)
+	}
+	if res := m.SampleRIO(200, 1, spec.RIOOptions{UnsafeSteal: true}); res.OK() {
+		t.Error("sampling did not catch the unsound steal rule")
+	}
+}
+
+// Property: for random small task flows and mappings, the hybrid
+// steal-enabled model always refines STF — readiness proven from the
+// pre-task counter values is executor-independent.
+func TestPropertyRIOStealAlwaysRefinesSTF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := enginetest.RandomGraph(rng, 8, 4)
+		workers := 2 + rng.Intn(2)
+		owners := make([]stf.WorkerID, len(g.Tasks))
+		for i := range owners {
+			owners[i] = stf.WorkerID(rng.Intn(workers))
+		}
+		m, err := spec.NewModel(g, workers, sched.Table(owners))
+		if err != nil {
+			return false
+		}
+		return m.CheckRIO(spec.RIOOptions{Steal: true}).OK()
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
 // The in-order restriction must make the RIO state space (much) smaller
 // than the STF one — the paper's Table 1 shows 23 vs 11 distinct states on
 // the 2×2 instance, 94 vs 29 on 3×2.

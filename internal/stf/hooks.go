@@ -44,6 +44,10 @@ type Hooks struct {
 	// abandoned by a run abort); every OnWaitStart is paired with exactly
 	// one OnWaitEnd.
 	OnWaitEnd func(w WorkerID, id TaskID, a Access)
+	// OnTaskSteal fires on the thief immediately after it won the claim on
+	// a stealable task owned by another worker (Options.Steal), before the
+	// task's OnTaskStart. Requires a StealPolicy; see internal/stf/steal.go.
+	OnTaskSteal func(thief, owner WorkerID, id TaskID)
 	// OnTaskRetry fires on the executing worker after a task attempt
 	// failed, its write-set was rolled back, and the runtime decided to
 	// retry: attempt is the number of the attempt that just failed (1 for

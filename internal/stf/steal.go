@@ -1,0 +1,208 @@
+package stf
+
+// Hybrid in-order execution with bounded, dependency-safe work stealing.
+//
+// The paper's static TaskID→WorkerID mapping makes the in-order model
+// serialize on a hot worker when the mapping is skewed — its own preflight
+// (RIO-M004) proves the bound. A StealPolicy lets an idle worker execute a
+// victim's *next* in-order task when the per-data counter state proves all
+// of the task's accesses are already available, so executing it elsewhere
+// is indistinguishable from the owner running it:
+//
+//   - The registered counter values of a task T (the values Algorithm 2
+//     waits on) are a function of the task-flow prefix before T alone, so
+//     they are identical on every worker's replay. A thief therefore checks
+//     readiness against the shared cells with T's *registered* values —
+//     either snapshotted from its own private counters as its replay passes
+//     T (closure replay), or precomputed per task by BuildStealMeta
+//     (compiled replay).
+//   - Readiness is stable once true: any task that could perturb a shared
+//     cell past T's registered values is registered after T and therefore
+//     transitively waits for T's completion, whoever executes T.
+//   - Claiming is a per-task atomic CAS (the claim table of partial
+//     mappings): exactly one executor wins. The owner, on reaching a
+//     claimed slot, advances its private counters exactly as if it had run
+//     the task (the declare_* bookkeeping of any foreign task); the thief
+//     publishes the task's terminate_* effects through the same shared-cell
+//     protocol, so downstream wakeups and the divergence guard observe the
+//     canonical order.
+//
+// A nil policy keeps the paper's pure static model at the cost of a single
+// pointer test per task (see BenchmarkStealOverhead).
+
+// DefaultStealScan bounds how many steal candidates one attempt inspects
+// when StealPolicy.MaxScan is zero.
+const DefaultStealScan = 8
+
+// DefaultStealBuffer is the per-worker candidate ring capacity of closure
+// replay when StealPolicy.Buffer is zero.
+const DefaultStealBuffer = 256
+
+// StealPolicy enables bounded, dependency-safe work stealing in the
+// in-order engine (Options.Steal). The zero value of every field selects a
+// sensible default; a nil *StealPolicy disables stealing entirely.
+type StealPolicy struct {
+	// MaxScan bounds one steal attempt: in closure replay, how many
+	// recorded candidates are inspected; in compiled replay, how many
+	// victims' next-task slots are probed. 0 means DefaultStealScan.
+	MaxScan int
+	// Victims is the ranked victim preference — workers to steal from, in
+	// descending priority (typically the overloaded workers the preflight
+	// mapping analysis ranked, see sched.RankVictims). Empty means every
+	// other worker, scanned in neighbor-ring order starting after the
+	// thief.
+	Victims []WorkerID
+	// Buffer is the per-worker steal-candidate ring capacity of closure
+	// replay (compiled replay needs no ring — candidates come from the
+	// program's precomputed steal metadata). 0 means DefaultStealBuffer;
+	// when the ring is full new candidates are dropped, never blocking
+	// the replay.
+	Buffer int
+}
+
+// ScanBound returns the effective MaxScan.
+func (p *StealPolicy) ScanBound() int {
+	if p == nil || p.MaxScan <= 0 {
+		return DefaultStealScan
+	}
+	return p.MaxScan
+}
+
+// RingCap returns the effective closure-replay candidate capacity.
+func (p *StealPolicy) RingCap() int {
+	if p == nil || p.Buffer <= 0 {
+		return DefaultStealBuffer
+	}
+	return p.Buffer
+}
+
+// StealReq is the readiness requirement of one access of a stealable task:
+// the registered per-data counter values the get_* call of Algorithm 2
+// compares against. They depend only on the task-flow prefix before the
+// task, never on which worker evaluates them.
+type StealReq struct {
+	// Data and Mode identify the access.
+	Data DataID
+	Mode AccessMode
+	// LastWrite is the required lastExecutedWrite (the last write
+	// registered before the task; NoTask if none).
+	LastWrite int64
+	// Reads and Reds are the required nbReadsSinceWrite /
+	// nbRedsSinceWrite counts at the task's registration.
+	Reads int64
+	Reds  int64
+	// RedsBefore is the reduction count at the start of the task's
+	// reduction run (Reduction accesses wait with >=, so members of the
+	// same run commute).
+	RedsBefore int64
+}
+
+// Ready reports whether the access may proceed given the shared cell's
+// current counters — exactly the readiness predicate of the get_read /
+// get_write / get_red calls.
+func (r *StealReq) Ready(lastWrite, reads, reds int64) bool {
+	switch {
+	case r.Mode.Writes():
+		return lastWrite == r.LastWrite && reads == r.Reads && reds == r.Reds
+	case r.Mode.Commutes():
+		return lastWrite == r.LastWrite && reads == r.Reads && reds >= r.RedsBefore
+	default:
+		return lastWrite == r.LastWrite && reds == r.Reds
+	}
+}
+
+// StealMeta is the per-task claim/ownership metadata of a compiled
+// program: for every task its owner, its readiness requirements, and a
+// per-owner index of tasks in flow order. It is immutable after
+// BuildStealMeta and shared read-only by every thief.
+type StealMeta struct {
+	// Owners maps each task index to its owning worker, or -1 for tasks
+	// absent from every stream (checkpoint-resume pruned: already
+	// executed, never stealable).
+	Owners []WorkerID
+	// Reqs holds, per task, one StealReq per access (flow-order
+	// registered values; nil for non-surviving tasks).
+	Reqs [][]StealReq
+	// ByOwner lists each worker's owned surviving tasks in flow order —
+	// the victim queues thieves scan.
+	ByOwner [][]int32
+}
+
+// BuildStealMeta derives steal metadata from a compiled program. Ownership
+// is recovered from the streams (each OpExec belongs to the stream's
+// worker); the registered counter values are produced by replaying the
+// surviving flow's declare_* semantics once. Tasks without an OpExec in
+// any stream (checkpoint-resume pruned) contribute neither requirements
+// nor counter updates, matching PruneCompleted's streams, which dropped
+// their micro-ops everywhere.
+func BuildStealMeta(cp *CompiledProgram) *StealMeta {
+	n := len(cp.Tasks)
+	m := &StealMeta{
+		Owners:  make([]WorkerID, n),
+		Reqs:    make([][]StealReq, n),
+		ByOwner: make([][]int32, cp.Workers),
+	}
+	for i := range m.Owners {
+		m.Owners[i] = -1
+	}
+	for w, stream := range cp.Streams {
+		for i := range stream {
+			if stream[i].Op == OpExec {
+				m.Owners[stream[i].Task] = WorkerID(w)
+			}
+		}
+	}
+
+	// One forward pass simulating every worker's (identical) private
+	// counters over the surviving flow.
+	type cell struct {
+		lastWrite  int64
+		reads      int64
+		reds       int64
+		redsBefore int64
+	}
+	cells := make([]cell, cp.NumData)
+	for d := range cells {
+		cells[d].lastWrite = int64(NoTask)
+	}
+	for i := range cp.Tasks {
+		w := m.Owners[i]
+		if w < 0 {
+			continue
+		}
+		t := &cp.Tasks[i]
+		reqs := make([]StealReq, len(t.Accesses))
+		// Snapshot every requirement against the pre-task counters before
+		// applying any of the task's own updates: the owner's get_* calls all
+		// evaluate against the local state registered *before* the task (its
+		// declares happen at the terminates), so two accesses of one task to
+		// the same data must both see the pre-task values.
+		for j, a := range t.Accesses {
+			c := &cells[a.Data]
+			reqs[j] = StealReq{
+				Data:       a.Data,
+				Mode:       a.Mode,
+				LastWrite:  c.lastWrite,
+				Reads:      c.reads,
+				Reds:       c.reds,
+				RedsBefore: c.redsBefore,
+			}
+		}
+		for _, a := range t.Accesses {
+			c := &cells[a.Data]
+			switch {
+			case a.Mode.Writes():
+				c.lastWrite = int64(t.ID)
+				c.reads, c.reds, c.redsBefore = 0, 0, 0
+			case a.Mode.Commutes():
+				c.reds++
+			default:
+				c.reads++
+				c.redsBefore = c.reds
+			}
+		}
+		m.Reqs[i] = reqs
+		m.ByOwner[w] = append(m.ByOwner[w], int32(i))
+	}
+	return m
+}

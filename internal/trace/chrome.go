@@ -93,6 +93,7 @@ func (r *Recorder) WriteChromeTraceGraph(w io.Writer, g *stf.Graph, kernelName f
 	}
 	byTask := make(map[stf.TaskID]spanAt, r.Count())
 	events := make([]chromeEvent, 0, 4*r.Count())
+	var stolen []spanAt
 
 	for lane, spans := range r.lanes {
 		if len(spans) == 0 {
@@ -108,15 +109,25 @@ func (r *Recorder) WriteChromeTraceGraph(w io.Writer, g *stf.Graph, kernelName f
 		})
 		for _, s := range spans {
 			byTask[s.Task] = spanAt{lane: lane, span: s}
+			args := map[string]any{"task": int64(s.Task)}
+			cat := "task"
+			if s.Stolen {
+				// A stolen task's slice lives in the thief's lane; the
+				// owner it was claimed from is kept as an arg and drawn
+				// as a hand-off arrow below.
+				args["stolen_from"] = int64(s.Owner)
+				cat = "task,steal"
+				stolen = append(stolen, spanAt{lane: lane, span: s})
+			}
 			events = append(events, chromeEvent{
 				Name: name(s.Kernel),
-				Cat:  "task",
+				Cat:  cat,
 				Ph:   "X",
 				TS:   s.Start.Microseconds(),
 				Dur:  (s.End - s.Start).Microseconds(),
 				PID:  1,
 				TID:  lane,
-				Args: map[string]any{"task": int64(s.Task)},
+				Args: args,
 			})
 		}
 	}
@@ -145,6 +156,19 @@ func (r *Recorder) WriteChromeTraceGraph(w io.Writer, g *stf.Graph, kernelName f
 					PID: 1, TID: to.lane, ID: edge, BP: "e"},
 			)
 		}
+	}
+
+	// Steal hand-off arrows: one per stolen span, leaving the owner's lane
+	// at the claim instant and binding to the thief's slice — Perfetto
+	// shows at a glance which tasks escaped their static owner.
+	for _, sp := range stolen {
+		edge++
+		events = append(events,
+			chromeEvent{Name: "steal", Cat: "steal", Ph: "s", TS: sp.span.Start.Microseconds(),
+				PID: 1, TID: int(sp.span.Owner), ID: edge},
+			chromeEvent{Name: "steal", Cat: "steal", Ph: "f", TS: sp.span.Start.Microseconds(),
+				PID: 1, TID: sp.lane, ID: edge, BP: "e"},
+		)
 	}
 
 	// Counter rows. A task becomes ready when its last dependency's span

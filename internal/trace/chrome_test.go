@@ -216,6 +216,64 @@ func TestWriteChromeTraceGraph(t *testing.T) {
 	}
 }
 
+// A stolen span (recorded by InstrumentOwned on a worker other than the
+// task's owner) must appear in the thief's lane carrying a stolen_from
+// arg, plus one "steal" flow-arrow pair from the owner's lane to the
+// thief's slice.
+func TestWriteChromeTraceGraphSteal(t *testing.T) {
+	g := stf.NewGraph("steal", 2)
+	g.Add(0, 0, 0, 0, stf.W(0)) // task 0, owner 0, runs on owner
+	g.Add(0, 0, 0, 0, stf.W(1)) // task 1, owner 0, stolen by worker 1
+
+	rec := trace.NewRecorder(2)
+	kern := rec.InstrumentOwned(func(*stf.Task, stf.WorkerID) {}, sched.Single(0))
+	kern(&g.Tasks[0], 0)
+	kern(&g.Tasks[1], 1) // thief executes owner 0's task
+
+	if spans := rec.Spans(1); len(spans) != 1 || !spans[0].Stolen || spans[0].Owner != 0 {
+		t.Fatalf("thief lane spans = %+v, want one stolen span owned by 0", spans)
+	}
+	if spans := rec.Spans(0); len(spans) != 1 || spans[0].Stolen {
+		t.Fatalf("owner lane spans = %+v, want one unstolen span", spans)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTraceGraph(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var stealStarts, stealEnds int
+	var stolenFrom any
+	for _, ev := range events {
+		if ev["cat"] == "steal" && ev["ph"] == "s" {
+			if tid, _ := ev["tid"].(float64); tid != 0 {
+				t.Errorf("steal arrow starts in lane %v, want the owner's lane 0", ev["tid"])
+			}
+			stealStarts++
+		}
+		if ev["cat"] == "steal" && ev["ph"] == "f" {
+			if tid, _ := ev["tid"].(float64); tid != 1 {
+				t.Errorf("steal arrow ends in lane %v, want the thief's lane 1", ev["tid"])
+			}
+			stealEnds++
+		}
+		if ev["ph"] == "X" {
+			if args, _ := ev["args"].(map[string]any); args["task"] == float64(1) {
+				stolenFrom = args["stolen_from"]
+			}
+		}
+	}
+	if stealStarts != 1 || stealEnds != 1 {
+		t.Errorf("steal arrow events = %d starts, %d ends; want 1 and 1", stealStarts, stealEnds)
+	}
+	if stolenFrom != float64(0) {
+		t.Errorf("stolen slice stolen_from = %v, want 0", stolenFrom)
+	}
+}
+
 // The master lane must keep master spans out of worker 0's lane and get
 // its own labeled row.
 func TestRecorderMasterLane(t *testing.T) {

@@ -50,6 +50,16 @@ func WriteMetrics(w io.Writer, p Progress) error {
 	for i := range p.Workers {
 		ew.printf("rio_tasks_skipped_total{worker=\"%d\"} %d\n", i, p.Workers[i].Skipped)
 	}
+	ew.printf("# HELP rio_tasks_stolen_total Stolen task executions so far, per worker (thief side).\n")
+	ew.printf("# TYPE rio_tasks_stolen_total counter\n")
+	for i := range p.Workers {
+		ew.printf("rio_tasks_stolen_total{worker=\"%d\"} %d\n", i, p.Workers[i].Stolen)
+	}
+	ew.printf("# HELP rio_steal_failed_total Steal attempts that lost the claim race so far, per worker.\n")
+	ew.printf("# TYPE rio_steal_failed_total counter\n")
+	for i := range p.Workers {
+		ew.printf("rio_steal_failed_total{worker=\"%d\"} %d\n", i, p.Workers[i].StealFailed)
+	}
 	ew.printf("# HELP rio_worker_current_task Task ID the worker is executing, -1 when idle.\n")
 	ew.printf("# TYPE rio_worker_current_task gauge\n")
 	for i := range p.Workers {

@@ -50,6 +50,11 @@ type WorkerProgress struct {
 	// tasks a Resume checkpoint let this worker skip (fault tolerance).
 	Retried int64 `json:"retried"`
 	Skipped int64 `json:"skipped"`
+	// Stolen counts executed tasks taken from other workers' static
+	// assignments under a steal policy; StealFailed counts steal attempts
+	// that lost the claim race after proving a task ready.
+	Stolen      int64 `json:"stolen"`
+	StealFailed int64 `json:"steal_failed"`
 	// Current is the ID of the task this worker is executing right now,
 	// or stf.NoTask (-1) when it is between tasks (replaying, waiting or
 	// done).
@@ -117,6 +122,24 @@ func (p *Progress) Skipped() int64 {
 	return n
 }
 
+// Stolen returns the total stolen task executions so far.
+func (p *Progress) Stolen() int64 {
+	var n int64
+	for i := range p.Workers {
+		n += p.Workers[i].Stolen
+	}
+	return n
+}
+
+// StealFailed returns the total lost steal claim races so far.
+func (p *Progress) StealFailed() int64 {
+	var n int64
+	for i := range p.Workers {
+		n += p.Workers[i].StealFailed
+	}
+	return n
+}
+
 // WaitHist returns the wait-duration histogram summed across workers.
 func (p *Progress) WaitHist() [NumWaitBuckets]int64 {
 	var h [NumWaitBuckets]int64
@@ -149,10 +172,12 @@ type progressCounters struct {
 	executed atomic.Int64
 	declared atomic.Int64
 	claimed  atomic.Int64
-	retried  atomic.Int64
-	skipped  atomic.Int64
-	current  atomic.Int64 // task ID being executed, or stf.NoTask
-	waitHist [NumWaitBuckets]atomic.Int64
+	retried     atomic.Int64
+	skipped     atomic.Int64
+	stolen      atomic.Int64
+	stealFailed atomic.Int64
+	current     atomic.Int64 // task ID being executed, or stf.NoTask
+	waitHist    [NumWaitBuckets]atomic.Int64
 }
 
 // StoreExecuted publishes the worker's executed-task tally.
@@ -169,6 +194,12 @@ func (c *ProgressCell) StoreRetried(n int64) { c.retried.Store(n) }
 
 // StoreSkipped publishes the worker's resume-skipped tally.
 func (c *ProgressCell) StoreSkipped(n int64) { c.skipped.Store(n) }
+
+// StoreStolen publishes the worker's stolen-execution tally.
+func (c *ProgressCell) StoreStolen(n int64) { c.stolen.Store(n) }
+
+// StoreStealFailed publishes the worker's lost-steal-race tally.
+func (c *ProgressCell) StoreStealFailed(n int64) { c.stealFailed.Store(n) }
 
 // SetCurrent publishes the task the worker is executing (stf.NoTask to
 // clear).
@@ -220,6 +251,8 @@ func (t *ProgressTable) Snapshot() Progress {
 		out.Claimed = cell.claimed.Load()
 		out.Retried = cell.retried.Load()
 		out.Skipped = cell.skipped.Load()
+		out.Stolen = cell.stolen.Load()
+		out.StealFailed = cell.stealFailed.Load()
 		out.Current = stf.TaskID(cell.current.Load())
 		for b := range cell.waitHist {
 			out.WaitHist[b] = cell.waitHist[b].Load()

@@ -33,6 +33,12 @@ type Span struct {
 	Kernel int
 	// Start and End are offsets from the recorder's epoch.
 	Start, End time.Duration
+	// Owner is the worker the static mapping assigned the task to, and
+	// Stolen marks a span executed by a different worker (a work-stealing
+	// thief under Options.Steal). Both are filled by InstrumentOwned only;
+	// plain Instrument has no mapping to compare against.
+	Owner  stf.WorkerID
+	Stolen bool
 }
 
 // NewRecorder returns a recorder with one lane per worker plus a dedicated
@@ -77,6 +83,29 @@ func (r *Recorder) Instrument(k stf.Kernel) stf.Kernel {
 			Kernel: t.Kernel,
 			Start:  s,
 			End:    time.Since(r.start),
+		})
+	}
+}
+
+// InstrumentOwned is Instrument with the static mapping attached: each
+// span records the task's owning worker, and spans executing on another
+// worker are marked Stolen — the Chrome export then draws them in the
+// thief's lane with a hand-off arrow from the owner. Tasks without a
+// static owner (stf.SharedWorker under a partial mapping) are dynamically
+// claimed, not stolen.
+func (r *Recorder) InstrumentOwned(k stf.Kernel, owner stf.Mapping) stf.Kernel {
+	return func(t *stf.Task, w stf.WorkerID) {
+		lane := r.lane(w)
+		o := owner(t.ID)
+		s := time.Since(r.start)
+		k(t, w)
+		r.lanes[lane] = append(r.lanes[lane], Span{
+			Task:   t.ID,
+			Kernel: t.Kernel,
+			Start:  s,
+			End:    time.Since(r.start),
+			Owner:  o,
+			Stolen: w >= 0 && o >= 0 && o != w,
 		})
 	}
 }

@@ -47,6 +47,12 @@ type WorkerStats struct {
 	// Skipped counts tasks a Resume checkpoint marked completed, charged
 	// to the worker that would have executed them.
 	Skipped int64
+	// Stolen counts executed tasks this worker took from another worker's
+	// static assignment under a steal policy; Stolen <= Executed.
+	Stolen int64
+	// StealFailed counts steal attempts that proved a task ready but lost
+	// the claim race at the last moment (to the owner or another thief).
+	StealFailed int64
 }
 
 // Stats aggregates a run: one entry per worker plus the run's wall time.
@@ -131,6 +137,25 @@ func (s *Stats) Skipped() int64 {
 	var n int64
 	for _, w := range s.Workers {
 		n += w.Skipped
+	}
+	return n
+}
+
+// Stolen returns the total number of stolen task executions across workers.
+func (s *Stats) Stolen() int64 {
+	var n int64
+	for _, w := range s.Workers {
+		n += w.Stolen
+	}
+	return n
+}
+
+// StealFailed returns the total number of lost steal claim races across
+// workers.
+func (s *Stats) StealFailed() int64 {
+	var n int64
+	for _, w := range s.Workers {
+		n += w.StealFailed
 	}
 	return n
 }

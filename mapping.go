@@ -49,6 +49,12 @@ func ValidateMapping(g *Graph, m Mapping, p int) error { return sched.Validate(g
 // load-balance diagnostic.
 func MappingHistogram(g *Graph, m Mapping, p int) []int { return sched.Histogram(g, m, p) }
 
+// RankVictims ranks the workers of a mapping as steal victims for
+// StealPolicy.Victims: workers owning at least one task, by descending
+// owned-task count (ties by ascending worker ID), so thieves probe the
+// most overloaded workers first.
+func RankVictims(g *Graph, m Mapping, p int) []WorkerID { return sched.RankVictims(g, m, p) }
+
 // RelevantTasks computes, for each worker, which tasks it must process
 // (execute or declare) under mapping m — the task-pruning analysis of
 // §3.5. Feed the result to PrunedReplay.

@@ -88,6 +88,13 @@ type (
 	// resolved them (Options.WaitPolicy): see WaitAdaptive, WaitSpin,
 	// WaitPark, WaitSleep.
 	WaitPolicy = stf.WaitPolicy
+	// StealPolicy enables bounded, dependency-safe work stealing in the
+	// in-order engine (Options.Steal): an idle worker executes a victim's
+	// next in-order task when the per-data counter state proves all of its
+	// accesses available. The zero value of every field selects defaults;
+	// a nil *StealPolicy (the default) keeps the paper's pure static model
+	// at the cost of one pointer test per task.
+	StealPolicy = stf.StealPolicy
 
 	// StallError is the stall watchdog's structured diagnosis: no task
 	// completed for Options.StallTimeout and the error names which
@@ -321,6 +328,18 @@ type Options struct {
 	// Window bounds in-flight tasks in the centralized engine (0 =
 	// unbounded).
 	Window int
+	// Steal enables bounded, dependency-safe work stealing in the
+	// in-order engine: an idle worker (parked or past its spin budget, or
+	// done with its own replay) executes another worker's next in-order
+	// task when the shared per-data counters prove every access available,
+	// claiming it with one atomic CAS. Execution remains sequentially
+	// consistent — readiness is derived from the same registered counter
+	// values every worker's replay computes — while skewed mappings stop
+	// serializing on the hot worker (see the RIO-M010 preflight finding
+	// and sched-ranked Victims via RankVictims). nil (the default)
+	// disables stealing and costs the hot path one pointer test per task.
+	// Other models ignore it (CentralizedWS has its own queue stealing).
+	Steal *StealPolicy
 	// Tuning groups the wait-tuning knobs — the preferred spelling of
 	// WaitPolicy, SpinLimit, YieldLimit, SleepInit and SleepMax.
 	Tuning TuningOptions
@@ -588,6 +607,7 @@ func coreOptions(o Options) core.Options {
 	return core.Options{
 		Workers:      o.Workers,
 		Mapping:      o.Mapping,
+		Steal:        o.Steal,
 		NoAccounting: o.NoAccounting,
 		WaitPolicy:   o.WaitPolicy,
 		SpinLimit:    o.SpinLimit,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"rio"
 	"rio/internal/analyze"
@@ -186,6 +187,73 @@ func TestPartialMappingThroughPublicAPI(t *testing.T) {
 	}
 	if c := rt.Stats().Claimed(); c != 100 {
 		t.Errorf("claimed = %d, want 100", c)
+	}
+}
+
+// Options.Steal must reach the in-order engine through New: a fully
+// skewed program on a steal-enabled runtime executes every task exactly
+// once, reports thief-side steals through Progress, and fires the
+// OnTaskSteal hook. RankVictims feeds the policy's preference list.
+func TestStealThroughPublicAPI(t *testing.T) {
+	const n = 32
+	g := graphs.Independent(n)
+	skew := func(rio.TaskID) rio.WorkerID { return 0 }
+	victims := rio.RankVictims(g, skew, 3)
+	if len(victims) != 1 || victims[0] != 0 {
+		t.Fatalf("RankVictims = %v, want [0]", victims)
+	}
+
+	var hooks atomic.Int64
+	rt, err := rio.New(rio.Options{
+		Workers: 3,
+		Mapping: skew,
+		Steal:   &rio.StealPolicy{Victims: victims},
+		Hooks: &rio.Hooks{OnTaskSteal: func(thief, owner rio.WorkerID, id rio.TaskID) {
+			if owner != 0 || thief == 0 {
+				t.Errorf("steal hook thief=%d owner=%d", thief, owner)
+			}
+			hooks.Add(1)
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs [n]atomic.Int64
+	err = rt.Run(n, func(s rio.Submitter) {
+		for i := 0; i < n; i++ {
+			i := i
+			s.Submit(func() {
+				time.Sleep(200 * time.Microsecond)
+				execs[i].Add(1)
+			}, rio.Write(rio.DataID(i)))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range execs {
+		if c := execs[i].Load(); c != 1 {
+			t.Errorf("task %d executed %d times", i, c)
+		}
+	}
+	pr := rt.Progress()
+	if pr.Stolen() == 0 {
+		t.Error("no steals on a fully skewed flow with idle thieves")
+	}
+	if hooks.Load() != pr.Stolen() {
+		t.Errorf("OnTaskSteal fired %d times, Progress.Stolen = %d", hooks.Load(), pr.Stolen())
+	}
+}
+
+// A defective steal policy must be rejected at construction.
+func TestStealOptionValidatedThroughPublicAPI(t *testing.T) {
+	_, err := rio.New(rio.Options{Workers: 2, Steal: &rio.StealPolicy{MaxScan: -1}})
+	if err == nil {
+		t.Error("negative MaxScan accepted")
+	}
+	_, err = rio.New(rio.Options{Workers: 2, Steal: &rio.StealPolicy{Victims: []rio.WorkerID{5}}})
+	if err == nil {
+		t.Error("out-of-range victim accepted")
 	}
 }
 
